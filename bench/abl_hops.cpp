@@ -1,0 +1,120 @@
+// Extension bench: latency and bandwidth across multi-switch routes. The
+// paper's testbed had a single M2F-SW8; Myrinet's cut-through switching
+// makes each extra hop cost well under a microsecond, so VMMC scales to
+// larger fabrics — the commodity-cluster story of §1.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace vmmc;
+using namespace vmmc::bench;
+
+struct HopResult {
+  int hops = 0;
+  double latency_us = 0;
+  double bandwidth_mb_s = 0;
+};
+
+HopResult Measure(int chain_switches) {
+  HopResult out;
+  sim::Simulator sim;
+  Params params;
+  vmmc_core::ClusterOptions options;
+  // Two nodes at the opposite ends of a switch chain.
+  options.num_nodes = 2 * chain_switches;  // spread: ceil(num/chain) per switch
+  options.topology = vmmc_core::Topology::kSwitchChain;
+  options.chain_switches = chain_switches;
+  vmmc_core::Cluster cluster(sim, params, options);
+  if (!cluster.Boot().ok()) std::abort();
+  const int far = options.num_nodes - 1;
+  out.hops = static_cast<int>(cluster.node(0).routes[static_cast<std::size_t>(far)].size());
+
+  auto a = cluster.OpenEndpoint(0, "a");
+  auto b = cluster.OpenEndpoint(far, "b");
+  if (!a.ok() || !b.ok()) std::abort();
+
+  // Minimal ping-pong between the two most distant nodes.
+  mem::VirtAddr a_recv = 0, b_recv = 0, a_src = 0, b_src = 0;
+  vmmc_core::ProxyAddr a_to_b = 0, b_to_a = 0;
+  bool ready = false;
+  auto setup = [&]() -> sim::Process {
+    a_recv = a.value()->AllocBuffer(1 << 20).value();
+    b_recv = b.value()->AllocBuffer(1 << 20).value();
+    a_src = a.value()->AllocBuffer(1 << 20).value();
+    b_src = b.value()->AllocBuffer(1 << 20).value();
+    vmmc_core::ExportOptions ea;
+    ea.name = "a";
+    (void)co_await a.value()->ExportBuffer(a_recv, 1 << 20, std::move(ea));
+    vmmc_core::ExportOptions eb;
+    eb.name = "b";
+    (void)co_await b.value()->ExportBuffer(b_recv, 1 << 20, std::move(eb));
+    vmmc_core::ImportOptions wait;
+    wait.wait = true;
+    a_to_b = (co_await a.value()->ImportBuffer(far, "b", wait)).value().proxy_base;
+    b_to_a = (co_await b.value()->ImportBuffer(0, "a", wait)).value().proxy_base;
+    ready = true;
+  };
+  sim.Spawn(setup());
+  sim.RunUntil([&] { return ready; });
+
+  auto spin = [&sim](vmmc_core::Endpoint& ep, mem::VirtAddr va,
+                     std::uint8_t want) -> sim::Process {
+    for (;;) {
+      std::uint8_t byte = 0;
+      (void)ep.ReadBuffer(va, {&byte, 1});
+      if (byte == want) co_return;
+      co_await sim.Delay(250);
+    }
+  };
+
+  bool done = false;
+  const int kIters = 100;
+  auto ping = [&]() -> sim::Process {
+    const sim::Tick t0 = sim.now();
+    for (int i = 1; i <= kIters; ++i) {
+      std::vector<std::uint8_t> w(4, static_cast<std::uint8_t>(i));
+      (void)a.value()->WriteBuffer(a_src, w);
+      (void)co_await a.value()->SendMsg(a_src, a_to_b, 4);
+      co_await spin(*a.value(), a_recv + 3, static_cast<std::uint8_t>(i));
+    }
+    out.latency_us = sim::ToMicroseconds(sim.now() - t0) / (2.0 * kIters);
+    // Bulk bandwidth across the chain.
+    const sim::Tick t1 = sim.now();
+    for (int i = 0; i < 4; ++i) {
+      (void)co_await a.value()->SendMsg(a_src, a_to_b, 1 << 20);
+    }
+    out.bandwidth_mb_s = sim::MBPerSec(4ull << 20, sim.now() - t1);
+    done = true;
+  };
+  auto pong = [&]() -> sim::Process {
+    for (int i = 1; i <= kIters; ++i) {
+      co_await spin(*b.value(), b_recv + 3, static_cast<std::uint8_t>(i));
+      std::vector<std::uint8_t> w(4, static_cast<std::uint8_t>(i));
+      (void)b.value()->WriteBuffer(b_src, w);
+      (void)co_await b.value()->SendMsg(b_src, b_to_a, 4);
+    }
+  };
+  sim.Spawn(pong());
+  sim.Spawn(ping());
+  sim.RunUntil([&] { return done; });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: latency and bandwidth vs switch-hop count\n");
+  std::printf("(cut-through switching: each hop adds ~%.2f us)\n\n",
+              sim::ToMicroseconds(DefaultParams().net.switch_latency +
+                                  DefaultParams().net.link_latency));
+  Table table({"switches traversed", "one-way latency (us)", "bandwidth (MB/s)"});
+  for (int switches : {1, 2, 3, 4, 6}) {
+    HopResult r = Measure(switches);
+    table.AddRow({std::to_string(r.hops), FormatDouble(r.latency_us, 2),
+                  FormatDouble(r.bandwidth_mb_s, 1)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation A2: the short/long protocol threshold. §5.3 argues 128 bytes is
+// the sweet spot: lowering it to 64 would sharply raise synchronous send
+// overhead for 64-128 B messages (the sender would wait for a host DMA)
+// while barely changing latency; raising it is barred by LANai SRAM size.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vmmc;
+  using namespace vmmc::bench;
+
+  std::printf("Ablation: short-send threshold (section 5.3)\n");
+  std::printf("(sync overhead and latency of a 96 B message vs threshold)\n\n");
+
+  Table table({"threshold", "sync overhead 96B (us)", "latency 96B (us)",
+               "SRAM/process (B)"});
+  for (std::uint32_t threshold : {32u, 64u, 128u, 256u, 512u}) {
+    Params params = DefaultParams();
+    params.vmmc.short_send_max = threshold;
+    OverheadResult oh;
+    {
+      TwoNodeFixture fx(params);
+      RunSendOverhead(fx, 96, 50, oh);
+    }
+    PingPongResult pp;
+    {
+      TwoNodeFixture fx(params);
+      RunPingPong(fx, 96, 100, pp);
+    }
+    // SRAM cost of one process's send queue grows with the threshold.
+    const std::uint32_t sram = params.vmmc.send_queue_entries * (16 + threshold) +
+                               params.vmmc.outgoing_pt_pages * 4 +
+                               params.vmmc.tlb_total_entries * 8;
+    table.AddRow({FormatSize(threshold), FormatDouble(oh.sync_us, 2),
+                  FormatDouble(pp.one_way_us, 2), std::to_string(sram)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 1: "Bandwidth of DMA between the Host and the LANai" — streaming
+// host->LANai DMA bandwidth as a function of the block size.
+//
+// Paper anchors: PCI peak close to 128 MB/s at 64 KB transfer units; with
+// virtual memory (discontiguous frames) transfer units are capped at one
+// page, and the achievable limit at 4 KB units is ~110 MB/s. The measured
+// loop includes the LANai-side descriptor handling, as the paper's did.
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "vmmc/host/machine.h"
+#include "vmmc/lanai/nic_card.h"
+#include "vmmc/myrinet/fabric.h"
+#include "vmmc/params.h"
+#include "vmmc/util/stats.h"
+
+namespace {
+
+using namespace vmmc;
+
+double MeasureBlockBandwidth(std::uint32_t block, std::uint64_t total_bytes) {
+  sim::Simulator sim;
+  const Params& params = DefaultParams();
+  myrinet::Fabric fabric(sim, params.net);
+  host::Machine machine(sim, params, 0);
+  lanai::NicCard nic(sim, params, machine, fabric);
+
+  const std::uint64_t blocks = total_bytes / block;
+  bool done = false;
+  auto driver = [&]() -> sim::Process {
+    // The paper's microbenchmark streams from a contiguous pinned buffer,
+    // so each block is one DMA burst regardless of size; user-level
+    // communication cannot do this past one page (§5.2), which is exactly
+    // what this figure demonstrates.
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+      // Descriptor handling by the LANai loop (fetch, program, complete).
+      co_await nic.cpu().Exec(params.pci.dma_loop_sw);
+      co_await machine.pci().Dma(block);
+    }
+    done = true;
+  };
+  sim.Spawn(driver());
+  sim.RunUntil([&] { return done; });
+  return sim::MBPerSec(blocks * block, sim.now());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1: Bandwidth of DMA between the Host and the LANai\n");
+  std::printf("(paper: ~128 MB/s at 64K units; 110 MB/s at the 4K page limit)\n\n");
+  Table table({"block", "MB/s"});
+  for (std::uint32_t block = 64; block <= 65536; block *= 2) {
+    const double bw = MeasureBlockBandwidth(block, 16ull << 20);
+    table.AddRow({FormatSize(block), FormatDouble(bw, 1)});
+  }
+  table.Print();
+  return 0;
+}

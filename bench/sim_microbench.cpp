@@ -1,0 +1,69 @@
+// M1: wall-clock throughput of the simulation engine itself (the one bench
+// where wall time is the right metric), using google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "vmmc/sim/process.h"
+#include "vmmc/sim/rng.h"
+#include "vmmc/sim/simulator.h"
+#include "vmmc/sim/sync.h"
+
+namespace {
+
+using namespace vmmc::sim;
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 10000; ++i) sim.At(i, [] {});
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventDispatch);
+
+Process Chain(Simulator& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.Delay(1);
+}
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int p = 0; p < 100; ++p) sim.Spawn(Chain(sim, 100));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 100);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+Process Producer(Simulator& sim, Mailbox<int>& box, int n) {
+  for (int i = 0; i < n; ++i) {
+    box.Put(i);
+    co_await sim.Delay(1);
+  }
+}
+
+Process Consumer(Mailbox<int>& box, int n) {
+  for (int i = 0; i < n; ++i) benchmark::DoNotOptimize(co_await box.Get());
+}
+
+void BM_MailboxHandoff(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Mailbox<int> box(sim);
+    sim.Spawn(Producer(sim, box, 5000));
+    sim.Spawn(Consumer(box, 5000));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_MailboxHandoff);
+
+void BM_Rng(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextU64());
+}
+BENCHMARK(BM_Rng);
+
+}  // namespace
+
+BENCHMARK_MAIN();

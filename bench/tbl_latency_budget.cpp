@@ -1,0 +1,46 @@
+// §5.2 "Hardware Limits" — the latency budget table: measured PIO costs,
+// the cost of posting a send request, the LANai-side costs and the
+// receive-side costs, plus the resulting hardware-minimum latency and the
+// measured VMMC one-word latency.
+//
+// Paper anchors: PIO read 0.422 us / write 0.121 us; posting a send
+// >= 0.5 us (writes only); pickup + packet prep + net DMA + receive ~2.5 us;
+// receive-side arbitration + host DMA ~2 us; minimum ~5 us; measured 9.8 us.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vmmc;
+  using namespace vmmc::bench;
+
+  const Params& p = DefaultParams();
+
+  std::printf("Latency budget (section 5.2)\n\n");
+  Table table({"component", "model (us)", "paper (us)"});
+  table.AddRow({"PIO read over PCI", FormatDouble(sim::ToMicroseconds(p.pci.pio_read), 3),
+                "0.422"});
+  table.AddRow({"PIO write over PCI", FormatDouble(sim::ToMicroseconds(p.pci.pio_write), 3),
+                "0.121"});
+  const double post = sim::ToMicroseconds(5 * p.pci.pio_write);
+  table.AddRow({"post send request (writes only)", FormatDouble(post, 2), ">= 0.5"});
+  const double send_side = sim::ToMicroseconds(
+      p.lanai.pickup_base + p.lanai.pickup_per_process + p.lanai.short_copy_base +
+      p.lanai.short_copy_per_word + p.lanai.header_prep + p.lanai.net_dma_init);
+  table.AddRow({"pickup + packet prep + net DMA", FormatDouble(send_side, 2),
+                "~2.5"});
+  const double recv_side =
+      sim::ToMicroseconds(p.lanai.recv_process + p.pci.dma_init) + 0.03;
+  table.AddRow({"receive: arbitrate + host DMA", FormatDouble(recv_side, 2), "~2"});
+  table.AddRow({"hardware minimum (sum)",
+                FormatDouble(post + send_side + recv_side, 2), "~5"});
+
+  // Measured one-word user-to-user latency.
+  TwoNodeFixture fx;
+  PingPongResult r;
+  RunPingPong(fx, 4, 400, r);
+  table.AddRow({"measured one-word VMMC latency", FormatDouble(r.one_way_us, 2),
+                "9.8"});
+  table.Print();
+  return 0;
+}

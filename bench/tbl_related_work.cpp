@@ -1,0 +1,269 @@
+// §7 "Related work": VMMC against the other Myrinet message layers on the
+// same (simulated) hardware.
+//
+// Paper anchors (see DESIGN.md for OCR reconstruction):
+//   Myrinet API: 63 us latency (4 B), ~35 MB/s peak ping-pong bandwidth;
+//   FM 2.0:      ~11 us latency (8 B), ~30 MB/s peak (PIO send, recv copy);
+//   PM:          7.2 us latency (8 B), 118 MB/s peak *pipelined* bandwidth
+//                at 8 KB units, copy-to-send-buffer excluded;
+//   VMMC:        9.8 us latency, 108.4 MB/s user-to-user.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "vmmc/compat/fm.h"
+#include "vmmc/compat/mapi.h"
+#include "vmmc/compat/pm.h"
+#include "vmmc/compat/testbed.h"
+
+namespace {
+
+using namespace vmmc;
+using namespace vmmc::bench;
+using compat::FmEndpoint;
+using compat::MapiEndpoint;
+using compat::PmEndpoint;
+using compat::Testbed;
+
+// Ping-pong over mapi channels.
+double MapiLatency(std::uint32_t len, int iters) {
+  sim::Simulator sim;
+  Testbed testbed(sim, DefaultParams(), 2);
+  MapiEndpoint a(testbed, 0), b(testbed, 1);
+  bool done = false;
+  sim::Tick elapsed = 0;
+  auto ping = [&]() -> sim::Process {
+    sim::Tick t0 = sim.now();
+    for (int i = 0; i < iters; ++i) {
+      Status s = co_await a.Send(1, 1, std::vector<std::uint8_t>(len, 1));
+      if (!s.ok()) std::abort();
+      for (;;) {
+        auto msg = co_await a.Recv(2);
+        if (!msg.empty()) break;
+        co_await sim.Delay(2000);
+      }
+    }
+    elapsed = sim.now() - t0;
+    done = true;
+  };
+  auto pong = [&]() -> sim::Process {
+    for (int i = 0; i < iters; ++i) {
+      for (;;) {
+        auto msg = co_await b.Recv(1);
+        if (!msg.empty()) break;
+        co_await sim.Delay(2000);
+      }
+      Status s = co_await b.Send(0, 2, std::vector<std::uint8_t>(len, 2));
+      if (!s.ok()) std::abort();
+    }
+  };
+  sim.Spawn(pong());
+  sim.Spawn(ping());
+  sim.RunUntil([&] { return done; });
+  return sim::ToMicroseconds(elapsed) / (2.0 * iters);
+}
+
+double MapiBandwidth(std::uint32_t len, int iters) {
+  sim::Simulator sim;
+  Testbed testbed(sim, DefaultParams(), 2);
+  MapiEndpoint a(testbed, 0), b(testbed, 1);
+  bool done = false;
+  sim::Tick elapsed = 0;
+  const sim::Tick t0 = sim.now();
+  auto sender = [&]() -> sim::Process {
+    for (int i = 0; i < iters; ++i) {
+      Status s = co_await a.Send(1, 1, std::vector<std::uint8_t>(len, 1));
+      if (!s.ok()) std::abort();
+    }
+  };
+  auto receiver = [&]() -> sim::Process {
+    int got = 0;
+    while (got < iters) {
+      auto msg = co_await b.Recv(1);
+      if (!msg.empty()) {
+        ++got;
+      } else {
+        co_await sim.Delay(2000);
+      }
+    }
+    elapsed = sim.now() - t0;
+    done = true;
+  };
+  sim.Spawn(sender());
+  sim.Spawn(receiver());
+  sim.RunUntil([&] { return done; });
+  return sim::MBPerSec(static_cast<std::uint64_t>(len) * iters, elapsed);
+}
+
+double FmLatency(std::uint32_t len, int iters) {
+  sim::Simulator sim;
+  Testbed testbed(sim, DefaultParams(), 2);
+  FmEndpoint a(testbed, 0), b(testbed, 1);
+  int a_got = 0, b_got = 0;
+  a.RegisterHandler(1, [&](std::span<const std::uint8_t>) { ++a_got; });
+  b.RegisterHandler(1, [&](std::span<const std::uint8_t>) { ++b_got; });
+  bool done = false;
+  sim::Tick elapsed = 0;
+  auto ping = [&]() -> sim::Process {
+    sim::Tick t0 = sim.now();
+    for (int i = 0; i < iters; ++i) {
+      Status s = co_await a.Send(1, 1, std::vector<std::uint8_t>(len, 1));
+      if (!s.ok()) std::abort();
+      const int want = i + 1;
+      while (a_got < want) {
+        (void)co_await a.Extract();
+        if (a_got < want) co_await sim.Delay(800);
+      }
+    }
+    elapsed = sim.now() - t0;
+    done = true;
+  };
+  auto pong = [&]() -> sim::Process {
+    for (int i = 0; i < iters; ++i) {
+      const int want = i + 1;
+      while (b_got < want) {
+        (void)co_await b.Extract();
+        if (b_got < want) co_await sim.Delay(800);
+      }
+      Status s = co_await b.Send(0, 1, std::vector<std::uint8_t>(len, 2));
+      if (!s.ok()) std::abort();
+    }
+  };
+  sim.Spawn(pong());
+  sim.Spawn(ping());
+  sim.RunUntil([&] { return done; });
+  return sim::ToMicroseconds(elapsed) / (2.0 * iters);
+}
+
+double FmBandwidth(std::uint32_t len, int iters) {
+  sim::Simulator sim;
+  Testbed testbed(sim, DefaultParams(), 2);
+  FmEndpoint a(testbed, 0), b(testbed, 1);
+  int got = 0;
+  b.RegisterHandler(1, [&](std::span<const std::uint8_t>) { ++got; });
+  bool done = false;
+  sim::Tick elapsed = 0;
+  const sim::Tick t0 = sim.now();
+  auto sender = [&]() -> sim::Process {
+    for (int i = 0; i < iters; ++i) {
+      Status s = co_await a.Send(1, 1, std::vector<std::uint8_t>(len, 1));
+      if (!s.ok()) std::abort();
+    }
+  };
+  auto receiver = [&]() -> sim::Process {
+    while (got < iters) {
+      (void)co_await b.Extract();
+      if (got < iters) co_await sim.Delay(2000);
+    }
+    elapsed = sim.now() - t0;
+    done = true;
+  };
+  sim.Spawn(sender());
+  sim.Spawn(receiver());
+  sim.RunUntil([&] { return done; });
+  return sim::MBPerSec(static_cast<std::uint64_t>(len) * iters, elapsed);
+}
+
+double PmLatency(std::uint32_t len, int iters) {
+  sim::Simulator sim;
+  Testbed testbed(sim, DefaultParams(), 2);
+  PmEndpoint a(testbed, 0), b(testbed, 1);
+  bool done = false;
+  sim::Tick elapsed = 0;
+  auto ping = [&]() -> sim::Process {
+    sim::Tick t0 = sim.now();
+    for (int i = 0; i < iters; ++i) {
+      Status s = co_await a.Send(1, std::vector<std::uint8_t>(len, 1));
+      if (!s.ok()) std::abort();
+      for (;;) {
+        auto msg = co_await a.Poll();
+        if (!msg.empty()) break;
+        co_await sim.Delay(400);
+      }
+    }
+    elapsed = sim.now() - t0;
+    done = true;
+  };
+  auto pong = [&]() -> sim::Process {
+    for (int i = 0; i < iters; ++i) {
+      for (;;) {
+        auto msg = co_await b.Poll();
+        if (!msg.empty()) break;
+        co_await sim.Delay(400);
+      }
+      Status s = co_await b.Send(0, std::vector<std::uint8_t>(len, 2));
+      if (!s.ok()) std::abort();
+    }
+  };
+  sim.Spawn(pong());
+  sim.Spawn(ping());
+  sim.RunUntil([&] { return done; });
+  return sim::ToMicroseconds(elapsed) / (2.0 * iters);
+}
+
+double PmBandwidth(std::uint32_t len, int iters, bool include_copy) {
+  sim::Simulator sim;
+  Testbed testbed(sim, DefaultParams(), 2);
+  PmEndpoint a(testbed, 0), b(testbed, 1);
+  bool done = false;
+  sim::Tick elapsed = 0;
+  const sim::Tick t0 = sim.now();
+  auto sender = [&]() -> sim::Process {
+    for (int i = 0; i < iters; ++i) {
+      Status s = co_await a.Send(1, std::vector<std::uint8_t>(len, 1), include_copy);
+      if (!s.ok()) std::abort();
+    }
+  };
+  auto receiver = [&]() -> sim::Process {
+    int got = 0;
+    while (got < iters) {
+      auto msg = co_await b.Poll();
+      if (!msg.empty()) {
+        ++got;
+      } else {
+        co_await sim.Delay(4000);
+      }
+    }
+    elapsed = sim.now() - t0;
+    done = true;
+  };
+  sim.Spawn(sender());
+  sim.Spawn(receiver());
+  sim.RunUntil([&] { return done; });
+  return sim::MBPerSec(static_cast<std::uint64_t>(len) * iters, elapsed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Section 7: related work comparison on the same hardware\n\n");
+
+  PingPongResult vmmc_small, vmmc_big;
+  {
+    TwoNodeFixture fx;
+    RunPingPong(fx, 8, 200, vmmc_small);
+  }
+  {
+    TwoNodeFixture fx;
+    RunPingPong(fx, 1 << 20, 8, vmmc_big);
+  }
+
+  Table table({"system", "latency (us)", "peak bw (MB/s)", "paper",
+               "notes"});
+  table.AddRow({"VMMC", FormatDouble(vmmc_small.one_way_us, 1),
+                FormatDouble(vmmc_big.bandwidth_mb_s, 1), "9.8 / 108.4",
+                "protected, zero-copy receive"});
+  table.AddRow({"Myrinet API", FormatDouble(MapiLatency(4, 50), 1),
+                FormatDouble(MapiBandwidth(65536, 24), 1), "63 / ~35",
+                "copies both sides, no reliability"});
+  table.AddRow({"FM 2.0", FormatDouble(FmLatency(8, 50), 1),
+                FormatDouble(FmBandwidth(65536, 24), 1), "~11 / ~30",
+                "PIO send, receive copy, 1 process"});
+  table.AddRow({"PM", FormatDouble(PmLatency(8, 50), 1),
+                FormatDouble(PmBandwidth(1 << 20, 8, /*include_copy=*/false), 1),
+                "7.2 / 118", "pipelined bw, send copy excluded"});
+  table.AddRow({"PM (with send copy)", "-",
+                FormatDouble(PmBandwidth(1 << 20, 8, /*include_copy=*/true), 1),
+                "(reduced)", "what applications actually see"});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// MPI-style collective operations over VMMC — the kind of message-passing
+// layer the paper positions VMMC as a substrate for (§1: "a key enabling
+// technology ... is a high-performance communication mechanism that
+// supports protected, user-level message passing").
+//
+// A Communicator gives one rank (one process, one node) point-to-point
+// links to every peer, each built from a pair of exported slot buffers
+// with credit-based flow control — the receiver-managed buffer management
+// VMMC makes possible (§2). On top of the links:
+//
+//   Barrier()            dissemination barrier, ceil(log2 N) rounds
+//   Broadcast(root,...)  binomial tree
+//   AllReduceSum(...)    ring reduce-scatter + all-gather
+//   Gather(root,...)     direct sends to the root
+//   SendTo/RecvFrom      the raw point-to-point layer
+//
+// All operations are coroutines; every rank of the communicator must call
+// the same collective in the same order (MPI semantics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vmmc/sim/task.h"
+#include "vmmc/vmmc/cluster.h"
+
+namespace vmmc::coll {
+
+class Communicator {
+ public:
+  // One call per rank; ranks are node ids. `tag` isolates independent
+  // communicators in the daemon's export namespace.
+  static sim::Task<Result<std::unique_ptr<Communicator>>> Create(
+      vmmc_core::Cluster& cluster, int rank, int size,
+      std::string tag = "world");
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  vmmc_core::Endpoint& endpoint() { return *ep_; }
+
+  // --- point to point (message-passing semantics over the links) ---
+  // Blocks until the peer consumed the previous message on this link.
+  sim::Task<Status> SendTo(int peer, std::span<const std::uint8_t> data);
+  // Blocks until the next message from `peer` arrives; returns its bytes.
+  sim::Task<Result<std::vector<std::uint8_t>>> RecvFrom(int peer);
+
+  // --- collectives ---
+  sim::Task<Status> Barrier();
+  // Root's `data` is distributed to everyone (in place on non-roots).
+  sim::Task<Status> Broadcast(int root, std::vector<std::uint8_t>& data);
+  // Element-wise sum across ranks, result everywhere. Uses the ring
+  // algorithm when values.size() is divisible by size(), otherwise a
+  // gather+broadcast fallback.
+  sim::Task<Status> AllReduceSum(std::vector<std::int64_t>& values);
+  // Everyone's data concatenated (rank order) at the root.
+  sim::Task<Status> Gather(int root, std::span<const std::uint8_t> mine,
+                           std::vector<std::uint8_t>* all);
+
+  // Number of collective operations completed (diagnostics).
+  std::uint64_t operations() const { return operations_; }
+
+  static constexpr std::uint32_t kMaxMessage = 64 * 1024;
+
+ private:
+  Communicator(vmmc_core::Cluster& cluster, int rank, int size, std::string tag)
+      : cluster_(cluster), rank_(rank), size_(size), tag_(std::move(tag)) {}
+
+  // One direction of a point-to-point link.
+  struct Link {
+    // Receive side (exported by us).
+    mem::VirtAddr recv_slot = 0;   // [payload][len][seq]
+    mem::VirtAddr ack_out = 0;     // staging for our consumption acks
+    std::uint32_t next_recv_seq = 1;
+    // Send side (imported from the peer).
+    vmmc_core::ProxyAddr send_slot = 0;
+    vmmc_core::ProxyAddr peer_ack = 0;  // peer's ack word for our sends
+    mem::VirtAddr send_staging = 0;
+    mem::VirtAddr ack_word = 0;  // exported; peer acks land here
+    std::uint32_t next_send_seq = 1;
+  };
+
+  sim::Task<Status> SetupLink(int peer);
+  std::uint32_t ReadWord(mem::VirtAddr va) const;
+
+  vmmc_core::Cluster& cluster_;
+  int rank_;
+  int size_;
+  std::string tag_;
+  std::unique_ptr<vmmc_core::Endpoint> ep_;
+  std::map<int, Link> links_;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace vmmc::coll

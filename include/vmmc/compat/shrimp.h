@@ -1,0 +1,173 @@
+// The SHRIMP comparison platform (§6): VMMC's original home. An EISA-bus
+// network interface whose *hardware* state machine initiates deliberate-
+// update transfers:
+//
+//  * the destination proxy space is part of the sender's virtual address
+//    space; OS-maintained mappings provide protection and translation;
+//  * a user process starts a transfer with just two memory-mapped I/O
+//    instructions; the NIC state machine verifies permissions, walks the
+//    (per-interface) outgoing page table, builds the packet and starts
+//    sending in ~2-3 us;
+//  * multi-page sends cost two PIO instructions per page (unlike Myrinet,
+//    where one request covers up to 8 MB);
+//  * the two initiation instructions are not atomic, so the state machine
+//    must be invalidated on context switch (modelled as a per-NIC engine
+//    lock);
+//  * user-to-user bandwidth equals the EISA hardware limit of 23 MB/s;
+//    one-word latency is ~7 us.
+//
+// The implementation reuses the VMMC page-table types — the paper notes
+// both systems share the export/import design (and even daemon code).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vmmc/host/machine.h"
+#include "vmmc/myrinet/fabric.h"
+#include "vmmc/params.h"
+#include "vmmc/sim/sync.h"
+#include "vmmc/sim/task.h"
+#include "vmmc/vmmc/page_tables.h"
+#include "vmmc/vmmc/wire.h"
+
+namespace vmmc::compat {
+
+class ShrimpNic;
+
+// A two-node (or N-node) SHRIMP system on its own interconnect.
+class ShrimpSystem {
+ public:
+  ShrimpSystem(sim::Simulator& sim, const Params& params, int num_nodes);
+  ~ShrimpSystem();
+
+  sim::Simulator& simulator() { return sim_; }
+  const Params& params() const { return params_; }
+  host::Machine& machine(int node) { return *machines_.at(static_cast<std::size_t>(node)); }
+  ShrimpNic& nic(int node) { return *nics_.at(static_cast<std::size_t>(node)); }
+  int num_nodes() const { return static_cast<int>(nics_.size()); }
+
+  myrinet::Route RouteTo(int src, int dst) const;
+  Status Inject(int src_node, myrinet::Packet packet);
+
+  // Export registry shared by the per-node "daemons" (§6 notes both
+  // platforms run the same daemon code; the Ethernet matching path is
+  // exercised by the Myrinet build).
+  struct BufferExport {
+    int node;
+    std::uint32_t len;
+    std::vector<mem::Pfn> frames;
+  };
+  std::unordered_map<std::string, BufferExport>& export_registry() {
+    return export_registry_;
+  }
+
+ private:
+  std::unordered_map<std::string, BufferExport> export_registry_;
+  sim::Simulator& sim_;
+  Params params_;
+  std::unique_ptr<myrinet::Fabric> fabric_;
+  std::vector<std::unique_ptr<host::Machine>> machines_;
+  std::vector<std::unique_ptr<ShrimpNic>> nics_;
+};
+
+// The SHRIMP network interface with its hardware deliberate-update engine.
+class ShrimpNic : public myrinet::Endpoint {
+ public:
+  ShrimpNic(sim::Simulator& sim, const Params& params, host::Machine& machine,
+            ShrimpSystem& system, int node_id);
+
+  int node_id() const { return node_id_; }
+  vmmc_core::IncomingPageTable& incoming() { return incoming_; }
+  // One outgoing page table per *interface* (§6), maintained by the OS.
+  vmmc_core::OutgoingPageTable& outgoing() { return outgoing_; }
+
+  // Hardware deliberate update: called after the user issued the two PIO
+  // writes. `pages` source physical pages are streamed in page chunks.
+  // Returns when the data has left the host (EISA DMA done).
+  sim::Process DeliberateUpdate(std::vector<mem::PhysAddr> src_pages,
+                                std::uint32_t len, vmmc_core::ProxyAddr proxy);
+
+  // Automatic update (§6 footnote): the snooping card captured `data`
+  // being written to local memory; it packetizes and forwards it. The data
+  // never crosses the EISA bus on the send side.
+  sim::Process AutomaticUpdate(std::vector<std::uint8_t> data,
+                               vmmc_core::ProxyAddr proxy);
+
+  void OnPacket(myrinet::Packet packet, sim::Tick tail_time) override;
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t pages_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t protection_violations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Process Receive(myrinet::Packet packet);
+
+  sim::Simulator& sim_;
+  const Params& params_;
+  host::Machine& machine_;
+  ShrimpSystem& system_;
+  int node_id_;
+  vmmc_core::IncomingPageTable incoming_;
+  vmmc_core::OutgoingPageTable outgoing_;
+  sim::Semaphore engine_;    // the non-atomic two-instruction state machine
+  sim::Semaphore eisa_bus_;  // EISA DMA bandwidth bottleneck
+  Stats stats_;
+};
+
+// VMMC-on-SHRIMP user library: the same export/import/send model, with
+// SHRIMP's initiation costs. Buffer matching is a local registry standing
+// in for the (shared, §6) daemon code.
+class ShrimpEndpoint {
+ public:
+  ShrimpEndpoint(ShrimpSystem& system, int node, const std::string& name);
+
+  host::UserProcess& process() { return *process_; }
+  mem::AddressSpace& memory() { return process_->address_space(); }
+
+  Result<mem::VirtAddr> AllocBuffer(std::uint32_t len);
+
+  // Export/import via the shared registry (setup path, uncosted).
+  Result<std::uint32_t> ExportBuffer(mem::VirtAddr va, std::uint32_t len,
+                                     const std::string& name);
+  Result<vmmc_core::ProxyAddr> ImportBuffer(int remote_node,
+                                            const std::string& name);
+
+  // Synchronous deliberate update: returns when the send buffer is
+  // reusable. Two PIO writes per page (§6) plus the engine time.
+  sim::Task<Status> SendMsg(mem::VirtAddr src, vmmc_core::ProxyAddr dst,
+                            std::uint32_t len);
+
+  // --- automatic update (§6 footnote; SHRIMP-only) ---
+  // Binds [va, va+len) so that writes to it are snooped off the memory bus
+  // and propagated to the corresponding offsets of `proxy`. The OS
+  // maintains these mappings (part of SHRIMP's larger OS footprint).
+  Status MapAutomaticUpdate(mem::VirtAddr va, std::uint32_t len,
+                            vmmc_core::ProxyAddr proxy);
+  // An ordinary store to auto-update-mapped memory: updates local memory
+  // and the snoop hardware forwards it — no send call, no PIO, no DMA on
+  // the sending host.
+  sim::Task<Status> AutoWrite(mem::VirtAddr va,
+                              std::span<const std::uint8_t> data);
+
+ private:
+  struct AutoBinding {
+    mem::VirtAddr base;
+    std::uint32_t len;
+    vmmc_core::ProxyAddr proxy;
+  };
+
+  ShrimpSystem& system_;
+  int node_;
+  host::UserProcess* process_;
+  std::vector<AutoBinding> auto_bindings_;
+};
+
+}  // namespace vmmc::compat

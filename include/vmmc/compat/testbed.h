@@ -1,0 +1,55 @@
+// A bare two-or-more-node Myrinet testbed (machines + NICs + switch, no
+// VMMC): the common substrate for the §7 baseline message layers, which
+// each load their own LANai control program.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "vmmc/host/machine.h"
+#include "vmmc/lanai/nic_card.h"
+#include "vmmc/myrinet/fabric.h"
+#include "vmmc/params.h"
+
+namespace vmmc::compat {
+
+class Testbed {
+ public:
+  Testbed(sim::Simulator& sim, const Params& params, int num_nodes = 2)
+      : sim_(sim), params_(params) {
+    fabric_ = std::make_unique<myrinet::Fabric>(sim_, params_.net);
+    myrinet::TopologyPlan plan = myrinet::BuildSingleSwitch(*fabric_, 8);
+    assert(num_nodes <= 8);
+    for (int i = 0; i < num_nodes; ++i) {
+      machines_.push_back(std::make_unique<host::Machine>(sim_, params_, i));
+      nics_.push_back(std::make_unique<lanai::NicCard>(sim_, params_,
+                                                       *machines_.back(), *fabric_));
+      Status s = nics_.back()->AttachToFabric(
+          plan.nic_slots[static_cast<std::size_t>(i)].switch_id,
+          plan.nic_slots[static_cast<std::size_t>(i)].port);
+      assert(s.ok());
+      (void)s;
+    }
+  }
+
+  sim::Simulator& simulator() { return sim_; }
+  const Params& params() const { return params_; }
+  myrinet::Fabric& fabric() { return *fabric_; }
+  host::Machine& machine(int i) { return *machines_.at(static_cast<std::size_t>(i)); }
+  lanai::NicCard& nic(int i) { return *nics_.at(static_cast<std::size_t>(i)); }
+  int num_nodes() const { return static_cast<int>(nics_.size()); }
+
+  myrinet::Route RouteTo(int src, int dst) {
+    return fabric_->ComputeRoute(src, dst).value();
+  }
+
+ private:
+  sim::Simulator& sim_;
+  Params params_;
+  std::unique_ptr<myrinet::Fabric> fabric_;
+  std::vector<std::unique_ptr<host::Machine>> machines_;
+  std::vector<std::unique_ptr<lanai::NicCard>> nics_;
+};
+
+}  // namespace vmmc::compat

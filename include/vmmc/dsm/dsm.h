@@ -1,0 +1,121 @@
+// Distributed shared memory over VMMC — the application class the SHRIMP
+// project built on this communication model (the paper's reference [7]
+// introduces VMMC as "software support for virtual memory-mapped
+// communication"; shared virtual memory was its flagship workload).
+//
+// Model: a page-granular shared region with home-based, lock-consistent
+// coherence. Every page has a home rank holding the authoritative copy in
+// an exported buffer. Consistency is acquire/release:
+//
+//   Acquire(lock)  — spin on the lock server (rank 0) via an Active
+//                    Messages request; on success, invalidate all cached
+//                    remote pages (conservative entry consistency);
+//   Read           — local pages read the home copy directly; remote
+//                    pages fault into a local cache: an AM request asks
+//                    the home, which pushes the page with ONE VMMC
+//                    deliberate update straight into the requester's
+//                    exported cache — zero-copy on both ends;
+//   Write          — updates the local (home or cached) copy and marks
+//                    the page dirty;
+//   Release(lock)  — writes dirty remote pages back with direct VMMC
+//                    sends into their homes' exported segments, then
+//                    releases the lock.
+//
+// Data never touches a control message: AM carries only {page number};
+// pages travel as VMMC transfers between exported buffers, exactly the
+// "data passing without control passing" pattern of §2.
+//
+// Races on unlocked data are undefined behaviour, as in any lock-based
+// DSM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vmmc/compat/am.h"
+#include "vmmc/sim/task.h"
+#include "vmmc/vmmc/cluster.h"
+
+namespace vmmc::dsm {
+
+struct DsmOptions {
+  std::uint32_t total_pages = 32;  // shared region size, 4 KB pages
+  std::string tag = "dsm";         // export-namespace prefix
+};
+
+class DsmNode {
+ public:
+  // One per rank. After Create, every pair must be wired with Connect
+  // (both directions at once) before shared-memory operations start.
+  static sim::Task<Result<std::unique_ptr<DsmNode>>> Create(
+      vmmc_core::Cluster& cluster, int rank, int size, DsmOptions options = {});
+
+  // Pairwise wiring: cross-imports home segments and cache regions and
+  // connects the AM control channel. Call once per unordered pair.
+  sim::Task<Status> Connect(DsmNode& peer);
+
+  // Starts serving fetch/lock requests; call on every rank after wiring.
+  void StartService();
+  void StopService();
+
+  int rank() const { return rank_; }
+  std::uint32_t total_pages() const { return options_.total_pages; }
+  int HomeOf(std::uint32_t page) const {
+    return static_cast<int>(page % static_cast<std::uint32_t>(size_));
+  }
+
+  // --- shared-memory operations (byte-addressed into the region) ---
+  sim::Task<Status> Read(std::uint64_t offset, std::span<std::uint8_t> out);
+  sim::Task<Status> Write(std::uint64_t offset, std::span<const std::uint8_t> in);
+
+  // --- synchronization ---
+  sim::Task<Status> Acquire(std::uint32_t lock_id);
+  sim::Task<Status> Release(std::uint32_t lock_id);
+
+  struct Stats {
+    std::uint64_t page_fetches = 0;
+    std::uint64_t write_backs = 0;
+    std::uint64_t lock_waits = 0;  // busy replies while spinning
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  DsmNode(vmmc_core::Cluster& cluster, int rank, int size, DsmOptions options)
+      : cluster_(cluster), rank_(rank), size_(size), options_(options) {}
+
+  struct PageState {
+    bool valid = false;  // cached copy of a REMOTE page is current
+    bool dirty = false;  // local copy modified since last write-back
+  };
+
+  // Ensures the page is locally readable; returns the VA of its bytes.
+  sim::Task<Result<mem::VirtAddr>> EnsurePage(std::uint32_t page, bool for_write);
+  // Home side: pushes `page` and its completion flag to a requester.
+  sim::Process PushPage(std::uint32_t page, std::uint32_t gen, int requester);
+  std::uint32_t HomeIndex(std::uint32_t page) const {
+    return page / static_cast<std::uint32_t>(size_);
+  }
+
+  vmmc_core::Cluster& cluster_;
+  int rank_;
+  int size_;
+  DsmOptions options_;
+
+  std::unique_ptr<vmmc_core::Endpoint> ep_;      // data plane
+  std::unique_ptr<compat::AmEndpoint> control_;  // control plane
+  mem::VirtAddr home_segment_ = 0;  // exported: pages homed here
+  mem::VirtAddr cache_ = 0;         // exported: fetched remote pages land here
+  std::unordered_map<int, vmmc_core::ProxyAddr> home_proxy_;   // peer home segments
+  std::unordered_map<int, vmmc_core::ProxyAddr> cache_proxy_;  // peer cache regions
+  mem::VirtAddr staging_ = 0;
+
+  std::vector<PageState> pages_;
+  std::unordered_map<std::uint32_t, int> locks_;  // rank 0 only: holder by lock id
+  std::uint32_t fetch_gen_ = 0;
+  Stats stats_;
+};
+
+}  // namespace vmmc::dsm

@@ -1,0 +1,139 @@
+// Minimal OS kernel model: user processes, interrupts dispatched to
+// loadable-driver handlers, POSIX-style signals, and the page pinning
+// service the VMMC driver relies on.
+//
+// Matches the paper's software-structure claims (§5.1): all new kernel
+// functionality lives in a loadable device driver — a virtual-to-physical
+// translation service and signal-based notification delivery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vmmc/mem/address_space.h"
+#include "vmmc/params.h"
+#include "vmmc/sim/process.h"
+#include "vmmc/sim/simulator.h"
+#include "vmmc/util/status.h"
+
+namespace vmmc::host {
+
+// Signal numbers used by the VMMC driver.
+constexpr int kSigVmmcNotify = 40;  // SIGRTMIN-style user signal
+
+class UserProcess {
+ public:
+  // A signal handler runs as a coroutine in the user process.
+  using SignalHandler = std::function<sim::Process(int signum)>;
+
+  UserProcess(int pid, std::string name, mem::PhysicalMemory& pm)
+      : pid_(pid), name_(std::move(name)), address_space_(pm) {}
+
+  int pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  mem::AddressSpace& address_space() { return address_space_; }
+  const mem::AddressSpace& address_space() const { return address_space_; }
+
+  void SetSignalHandler(int signum, SignalHandler handler) {
+    handlers_[signum] = std::move(handler);
+  }
+  const SignalHandler* FindSignalHandler(int signum) const {
+    auto it = handlers_.find(signum);
+    return it == handlers_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  int pid_;
+  std::string name_;
+  mem::AddressSpace address_space_;
+  std::unordered_map<int, SignalHandler> handlers_;
+};
+
+class Kernel {
+ public:
+  using IrqHandler = std::function<sim::Process()>;
+
+  Kernel(sim::Simulator& sim, const HostParams& params, mem::PhysicalMemory& pm)
+      : sim_(sim), params_(params), pm_(pm) {}
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  mem::PhysicalMemory& physical_memory() { return pm_; }
+
+  // --- processes ---
+  UserProcess& CreateProcess(const std::string& name) {
+    processes_.push_back(std::make_unique<UserProcess>(next_pid_++, name, pm_));
+    return *processes_.back();
+  }
+  UserProcess* FindProcess(int pid) {
+    for (auto& p : processes_) {
+      if (p->pid() == pid) return p.get();
+    }
+    return nullptr;
+  }
+  std::size_t process_count() const { return processes_.size(); }
+
+  // --- interrupts (device -> driver) ---
+  void RegisterIrqHandler(int irq, IrqHandler handler) {
+    irq_handlers_[irq] = std::move(handler);
+  }
+  // Raises IRQ `irq`: after the interrupt-entry cost the registered driver
+  // handler runs as a kernel coroutine.
+  void RaiseIrq(int irq) {
+    ++interrupts_taken_;
+    sim_.Spawn(RunIrq(irq));
+  }
+  std::uint64_t interrupts_taken() const { return interrupts_taken_; }
+
+  // --- signals (driver -> user handler), used for notifications ---
+  Status PostSignal(int pid, int signum) {
+    UserProcess* proc = FindProcess(pid);
+    if (proc == nullptr) return NotFound("no such pid");
+    ++signals_posted_;
+    sim_.Spawn(RunSignal(*proc, signum));
+    return OkStatus();
+  }
+  std::uint64_t signals_posted() const { return signals_posted_; }
+
+  // --- driver services (the paper's loadable-module additions, §5.1) ---
+  // Locks pages in memory so a device may DMA to/from them.
+  Status PinUserPages(UserProcess& proc, mem::VirtAddr va, std::uint64_t len) {
+    return proc.address_space().Pin(va, len);
+  }
+  Status UnpinUserPages(UserProcess& proc, mem::VirtAddr va, std::uint64_t len) {
+    return proc.address_space().Unpin(va, len);
+  }
+  // Virtual-to-physical translation for a pinned user page.
+  Result<mem::PhysAddr> TranslatePinned(UserProcess& proc, mem::VirtAddr va) {
+    return proc.address_space().TranslatePinned(va);
+  }
+
+ private:
+  sim::Process RunIrq(int irq) {
+    co_await sim_.Delay(params_.interrupt_entry);
+    auto it = irq_handlers_.find(irq);
+    if (it != irq_handlers_.end()) co_await it->second();
+  }
+
+  sim::Process RunSignal(UserProcess& proc, int signum) {
+    co_await sim_.Delay(params_.signal_delivery);
+    const UserProcess::SignalHandler* h = proc.FindSignalHandler(signum);
+    if (h != nullptr) co_await (*h)(signum);
+  }
+
+  sim::Simulator& sim_;
+  const HostParams& params_;
+  mem::PhysicalMemory& pm_;
+  std::vector<std::unique_ptr<UserProcess>> processes_;
+  std::unordered_map<int, IrqHandler> irq_handlers_;
+  int next_pid_ = 100;
+  std::uint64_t interrupts_taken_ = 0;
+  std::uint64_t signals_posted_ = 0;
+};
+
+}  // namespace vmmc::host

@@ -1,0 +1,45 @@
+// One PC: physical memory, CPU, PCI bus and kernel, assembled. The network
+// interface card plugs into the machine's PCI bus (see lanai/nic_card.h);
+// the assembly of machine + NIC + fabric into a cluster happens in
+// vmmc/cluster.h.
+#pragma once
+
+#include <cstdint>
+
+#include "vmmc/host/host_cpu.h"
+#include "vmmc/host/kernel.h"
+#include "vmmc/host/pci_bus.h"
+#include "vmmc/mem/physical_memory.h"
+#include "vmmc/params.h"
+#include "vmmc/sim/simulator.h"
+
+namespace vmmc::host {
+
+class Machine {
+ public:
+  // `mem_bytes` defaults to a tractable 16 MB (the paper's PCs had 64 MB);
+  // the scatter seed is derived from the node id so each node fragments
+  // its frames differently.
+  Machine(sim::Simulator& sim, const Params& params, int node_id,
+          std::uint64_t mem_bytes = 16ull * 1024 * 1024)
+      : node_id_(node_id),
+        memory_(mem_bytes, /*scatter_seed=*/0x5EED0000u + static_cast<std::uint64_t>(node_id)),
+        cpu_(sim, params.host),
+        pci_(sim, params.pci),
+        kernel_(sim, params.host, memory_) {}
+
+  int node_id() const { return node_id_; }
+  mem::PhysicalMemory& memory() { return memory_; }
+  HostCpu& cpu() { return cpu_; }
+  PciBus& pci() { return pci_; }
+  Kernel& kernel() { return kernel_; }
+
+ private:
+  int node_id_;
+  mem::PhysicalMemory memory_;
+  HostCpu cpu_;
+  PciBus pci_;
+  Kernel kernel_;
+};
+
+}  // namespace vmmc::host

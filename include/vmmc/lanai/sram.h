@@ -1,0 +1,49 @@
+// LANai on-board SRAM (256 KB on the M2F-PCI32, §3). It holds the LANai
+// control program, per-process send queues, outgoing page tables and
+// software TLBs, and the network staging buffers — so SRAM capacity is the
+// resource that bounds how many processes/imports a NIC can serve (§4.4,
+// §6). This allocator enforces those bounds; region contents are modelled
+// by their owning components.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "vmmc/util/status.h"
+
+namespace vmmc::lanai {
+
+class Sram {
+ public:
+  explicit Sram(std::uint32_t bytes) : size_(bytes) {
+    free_.emplace(0, bytes);
+  }
+  Sram(const Sram&) = delete;
+  Sram& operator=(const Sram&) = delete;
+
+  std::uint32_t size() const { return size_; }
+  std::uint32_t used_bytes() const { return used_; }
+  std::uint32_t free_bytes() const { return size_ - used_; }
+
+  // First-fit allocation; `name` identifies the region in diagnostics.
+  Result<std::uint32_t> Allocate(const std::string& name, std::uint32_t bytes);
+  Status Free(std::uint32_t offset);
+
+  // Name of the region at `offset` (empty if none) — diagnostics/tests.
+  std::string RegionName(std::uint32_t offset) const;
+  std::size_t region_count() const { return regions_.size(); }
+
+ private:
+  struct Region {
+    std::string name;
+    std::uint32_t bytes;
+  };
+
+  std::uint32_t size_;
+  std::uint32_t used_ = 0;
+  std::map<std::uint32_t, std::uint32_t> free_;  // offset -> length
+  std::map<std::uint32_t, Region> regions_;      // offset -> region
+};
+
+}  // namespace vmmc::lanai

@@ -1,0 +1,94 @@
+// Per-process virtual address space: page table, byte access that walks the
+// page table, page pinning (for DMA), and a small user heap so examples and
+// benchmarks can allocate buffers the way a user program would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+
+#include "vmmc/mem/physical_memory.h"
+#include "vmmc/mem/types.h"
+#include "vmmc/util/status.h"
+
+namespace vmmc::mem {
+
+struct PageTableEntry {
+  Pfn pfn = 0;
+  bool writable = true;
+  std::uint32_t pin_count = 0;  // >0: page may be a DMA source/target
+};
+
+// Virtual-to-physical mapping for one process.
+class PageTable {
+ public:
+  bool Contains(Vpn vpn) const { return entries_.contains(vpn); }
+  const PageTableEntry* Find(Vpn vpn) const;
+  PageTableEntry* Find(Vpn vpn);
+  Status Insert(Vpn vpn, PageTableEntry entry);
+  Status Erase(Vpn vpn);
+  std::size_t size() const { return entries_.size(); }
+
+  template <typename Fn>  // Fn(Vpn, const PageTableEntry&)
+  void ForEach(Fn&& fn) const {
+    for (const auto& [vpn, entry] : entries_) fn(vpn, entry);
+  }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::unordered_map<Vpn, PageTableEntry> entries_;
+};
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(PhysicalMemory& pm);
+  ~AddressSpace();
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  PhysicalMemory& physical_memory() { return pm_; }
+  const PageTable& page_table() const { return pt_; }
+
+  // Maps `len` bytes (rounded up to pages) of fresh zeroed memory and
+  // returns the base virtual address. Frames come from the scattered
+  // allocator, so they are generally not physically contiguous.
+  Result<VirtAddr> MapAnonymous(std::uint64_t len, bool writable = true);
+  // Unmaps previously mapped pages and frees their frames. Pinned pages
+  // cannot be unmapped.
+  Status Unmap(VirtAddr va, std::uint64_t len);
+
+  // Page-table walk for one address.
+  Result<PhysAddr> Translate(VirtAddr va) const;
+  // Translation that requires the page to be pinned (used by DMA paths).
+  Result<PhysAddr> TranslatePinned(VirtAddr va) const;
+
+  // Byte access through the page table; may cross page boundaries.
+  Status Read(VirtAddr va, std::span<std::uint8_t> out) const;
+  Status Write(VirtAddr va, std::span<const std::uint8_t> in);
+
+  // Typed helpers for word-sized accesses (completion words, flags).
+  Result<std::uint32_t> ReadU32(VirtAddr va) const;
+  Status WriteU32(VirtAddr va, std::uint32_t value);
+
+  // Pin/unpin every page overlapping [va, va+len). Pins nest.
+  Status Pin(VirtAddr va, std::uint64_t len);
+  Status Unpin(VirtAddr va, std::uint64_t len);
+
+  // User heap: first-fit allocator over an arena that grows page-wise.
+  Result<VirtAddr> HeapAlloc(std::uint64_t len, std::uint64_t align = 16);
+  Status HeapFree(VirtAddr va);
+
+ private:
+  PhysicalMemory& pm_;
+  PageTable pt_;
+  VirtAddr next_map_ = 0x1000'0000;  // mmap region cursor
+
+  // Heap bookkeeping: free blocks keyed by address, plus allocation sizes.
+  static constexpr VirtAddr kHeapBase = 0x0800'0000;
+  VirtAddr heap_end_ = kHeapBase;  // first unmapped heap address
+  std::map<VirtAddr, std::uint64_t> heap_free_;
+  std::unordered_map<VirtAddr, std::uint64_t> heap_allocs_;
+};
+
+}  // namespace vmmc::mem

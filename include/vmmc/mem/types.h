@@ -1,0 +1,34 @@
+// Address types shared by the memory, host, NIC and VMMC layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vmmc::mem {
+
+// 4 KB pages, as on the paper's Pentium/Linux 2.0 platform.
+constexpr std::size_t kPageShift = 12;
+constexpr std::size_t kPageSize = std::size_t{1} << kPageShift;
+constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+using PhysAddr = std::uint64_t;  // physical byte address
+using VirtAddr = std::uint64_t;  // virtual byte address
+using Pfn = std::uint64_t;       // physical frame number
+using Vpn = std::uint64_t;       // virtual page number
+
+constexpr std::uint64_t PageNumber(std::uint64_t addr) { return addr >> kPageShift; }
+constexpr std::uint64_t PageOffset(std::uint64_t addr) { return addr & kPageMask; }
+constexpr std::uint64_t PageBase(std::uint64_t addr) { return addr & ~kPageMask; }
+constexpr std::uint64_t PageAddr(std::uint64_t page_number) {
+  return page_number << kPageShift;
+}
+// Number of pages spanned by [addr, addr+len).
+constexpr std::uint64_t PagesSpanned(std::uint64_t addr, std::uint64_t len) {
+  if (len == 0) return 0;
+  return PageNumber(addr + len - 1) - PageNumber(addr) + 1;
+}
+constexpr std::uint64_t RoundUpToPage(std::uint64_t len) {
+  return (len + kPageMask) & ~kPageMask;
+}
+
+}  // namespace vmmc::mem

@@ -1,0 +1,20 @@
+// CRC-8 as computed by the Myrinet link hardware (§3): "On sending, the
+// 8-bit CRC is computed by hardware and is appended to the packet. On a
+// packet arrival, CRC hardware computes the CRC of the incoming packet and
+// compares it with the received CRC."
+//
+// Polynomial: x^8 + x^2 + x + 1 (0x07), the CRC-8/ATM-HEC generator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vmmc::myrinet {
+
+// Table-driven CRC-8 over `data`, initial value 0.
+std::uint8_t Crc8(std::span<const std::uint8_t> data);
+
+// Incremental form for streaming use.
+std::uint8_t Crc8Update(std::uint8_t crc, std::span<const std::uint8_t> data);
+
+}  // namespace vmmc::myrinet

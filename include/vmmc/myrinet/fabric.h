@@ -1,0 +1,171 @@
+// The Myrinet switching fabric: point-to-point links and 8-port crossbar
+// switches with source (cut-through / wormhole) routing and in-order
+// delivery (§3).
+//
+// Timing model: a link serializes a packet at 160 MB/s and is occupied for
+// the serialization time; the head of the packet arrives after the link
+// propagation delay and a switch forwards it after its cut-through latency,
+// so a multi-hop path pays the serialization cost once plus per-hop
+// latencies — the wormhole approximation. A packet is delivered to the
+// destination NIC when its tail arrives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "vmmc/myrinet/packet.h"
+#include "vmmc/params.h"
+#include "vmmc/sim/rng.h"
+#include "vmmc/sim/simulator.h"
+#include "vmmc/util/status.h"
+
+namespace vmmc::myrinet {
+
+// Anything a link can terminate at. `head_time` is when the call happens;
+// `tail_time` is when the last byte will have arrived.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void OnPacket(Packet packet, sim::Tick tail_time) = 0;
+};
+
+// Unidirectional link.
+class Link {
+ public:
+  Link(sim::Simulator& sim, const NetParams& params, sim::Rng& rng)
+      : sim_(sim), params_(params), rng_(rng) {}
+
+  void set_destination(Endpoint* dst) { dst_ = dst; }
+  Endpoint* destination() const { return dst_; }
+
+  // Injects `packet`; honours occupancy (back-to-back packets queue on the
+  // wire) and in-order delivery. May corrupt the payload per the injected
+  // error rate; the CRC then fails at the receiver, as on real hardware.
+  void Send(Packet packet);
+
+  std::uint64_t packets_sent() const { return packets_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  sim::Simulator& sim_;
+  const NetParams& params_;
+  sim::Rng& rng_;
+  Endpoint* dst_ = nullptr;
+  sim::Tick busy_until_ = 0;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+// 8-port (configurable) crossbar switch. Consumes the first route byte to
+// select the output port; a packet with an empty or invalid route is
+// dropped (counted).
+class Switch : public Endpoint {
+ public:
+  Switch(sim::Simulator& sim, const NetParams& params, int id, int num_ports)
+      : sim_(sim), params_(params), id_(id), out_links_(static_cast<std::size_t>(num_ports), nullptr) {}
+
+  int id() const { return id_; }
+  int num_ports() const { return static_cast<int>(out_links_.size()); }
+  void AttachOutput(int port, Link* link) {
+    out_links_.at(static_cast<std::size_t>(port)) = link;
+  }
+  Link* output(int port) const { return out_links_.at(static_cast<std::size_t>(port)); }
+
+  void OnPacket(Packet packet, sim::Tick tail_time) override;
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  sim::Simulator& sim_;
+  const NetParams& params_;
+  int id_;
+  std::vector<Link*> out_links_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+// The fabric: a container of switches, NIC attachment points and links,
+// plus the topology graph the mapping phase explores.
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, const NetParams& params,
+         std::uint64_t error_seed = 0xFAB41Cull)
+      : sim_(sim), params_(params), rng_(error_seed) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const NetParams& params() const { return params_; }
+
+  // --- topology construction ---
+  int AddSwitch(int num_ports = 8);
+  // Registers a NIC endpoint; returns its nic id (0-based, == node id by
+  // convention).
+  int AddNic(Endpoint* nic);
+  // Wires NIC <-> switch port with a link pair.
+  Status ConnectNic(int nic_id, int switch_id, int port);
+  // Wires switch a, port pa <-> switch b, port pb with a link pair.
+  Status ConnectSwitches(int a, int pa, int b, int pb);
+
+  int num_nics() const { return static_cast<int>(nics_.size()); }
+  int num_switches() const { return static_cast<int>(switches_.size()); }
+  Switch& switch_at(int id) { return *switches_.at(static_cast<std::size_t>(id)); }
+
+  // --- use ---
+  // NIC `nic_id` puts a packet on its outgoing link.
+  Status Inject(int nic_id, Packet packet);
+
+  // Graph query used by the network-mapping phase (see mapper.h): the
+  // shortest source route from one NIC to another, as a sequence of switch
+  // output-port bytes. Fails if disconnected.
+  Result<Route> ComputeRoute(int src_nic, int dst_nic) const;
+
+  std::uint64_t total_link_packets() const;
+
+ private:
+  // Graph vertex encoding: 0..S-1 switches, S..S+N-1 NICs.
+  struct GraphEdge {
+    int to;        // vertex
+    int out_port;  // valid when `from` is a switch
+  };
+
+  sim::Simulator& sim_;
+  const NetParams& params_;
+  sim::Rng rng_;
+
+  std::vector<std::unique_ptr<Switch>> switches_;
+  struct NicAttachment {
+    Endpoint* endpoint = nullptr;
+    Link* to_switch = nullptr;   // nic -> fabric
+    Link* from_switch = nullptr; // fabric -> nic
+    int switch_id = -1;
+    int switch_port = -1;
+  };
+  std::vector<NicAttachment> nics_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::vector<GraphEdge>> graph_;  // adjacency by vertex
+
+  Link* NewLink();
+  int SwitchVertex(int switch_id) const { return switch_id; }
+  int NicVertex(int nic_id) const { return num_switches() + nic_id; }
+};
+
+// Topology builders create the switch mesh and return the switch/port slot
+// where the i-th NIC should attach (the cluster assembly registers the NIC
+// endpoints and calls ConnectNic).
+struct TopologyPlan {
+  struct Slot {
+    int switch_id;
+    int port;
+  };
+  std::vector<Slot> nic_slots;
+};
+
+// All NICs on one 8-port switch (the paper's setup: 4 PCs on an M2F-SW8).
+TopologyPlan BuildSingleSwitch(Fabric& fabric, int max_nics = 8);
+// A chain of switches with `per_switch` NIC slots each (multi-hop routes).
+TopologyPlan BuildSwitchChain(Fabric& fabric, int num_switches, int per_switch);
+
+}  // namespace vmmc::myrinet

@@ -1,0 +1,30 @@
+// Myrinet packets: a source route (one output-port byte consumed per
+// switch, standard Myrinet format, §4.5), an opaque payload, and a CRC-8
+// appended by the link hardware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vmmc/myrinet/crc8.h"
+
+namespace vmmc::myrinet {
+
+// The remaining source route: front() is the output port at the next switch.
+using Route = std::vector<std::uint8_t>;
+
+struct Packet {
+  int src_nic = -1;   // injecting NIC id (diagnostics only; not on the wire)
+  Route route;        // consumed hop by hop
+  std::vector<std::uint8_t> payload;
+  std::uint8_t crc = 0;
+
+  // Bytes occupying the wire: remaining route bytes + payload + CRC.
+  std::size_t wire_bytes() const { return route.size() + payload.size() + 1; }
+
+  // Link-hardware CRC, computed at injection over the payload.
+  void StampCrc() { crc = Crc8(payload); }
+  bool CrcOk() const { return Crc8(payload) == crc; }
+};
+
+}  // namespace vmmc::myrinet

@@ -1,0 +1,37 @@
+// Deterministic PRNG (xoshiro256**) for workload generation and fault
+// injection. std::mt19937 is avoided so traces are reproducible across
+// standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace vmmc::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(std::uint64_t seed);
+
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound). bound == 0 returns 0. Uses rejection sampling so
+  // the distribution is exactly uniform.
+  std::uint64_t UniformU64(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  bool Bernoulli(double p);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vmmc::sim

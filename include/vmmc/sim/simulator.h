@@ -1,0 +1,100 @@
+// Discrete-event simulation engine.
+//
+// The Simulator owns a time-ordered queue of callbacks. Hardware and
+// software components are modelled as coroutines (see process.h) that
+// suspend on awaitables whose wake-ups flow through this queue, so the
+// entire system is single-threaded and deterministic: events at equal
+// times fire in scheduling order (FIFO tie-break on a sequence number).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "vmmc/sim/process.h"
+#include "vmmc/sim/time.h"
+
+namespace vmmc::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Tick now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+  // Schedules `fn` at absolute time `t` (must be >= now()).
+  void At(Tick t, std::function<void()> fn);
+  // Schedules `fn` after `delay` ticks.
+  void In(Tick delay, std::function<void()> fn) { At(now_ + delay, std::move(fn)); }
+  // Schedules `fn` at the current time, after already-queued events at now().
+  void Post(std::function<void()> fn) { At(now_, std::move(fn)); }
+
+  // Resumes a coroutine through the event queue (keeps ordering FIFO and
+  // avoids unbounded recursion from synchronous resumption chains).
+  void Resume(std::coroutine_handle<> h, Tick delay = 0);
+
+  // Starts a detached coroutine at the current time. The coroutine frame
+  // frees itself on completion.
+  void Spawn(Process p);
+
+  // Runs one event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs until the queue drains or `max_events` fire. Returns events run.
+  std::uint64_t Run(std::uint64_t max_events = UINT64_MAX);
+
+  // Runs all events with time <= t; leaves now() == t.
+  void RunUntilTime(Tick t);
+
+  // Runs until pred() is true (checked after every event). Returns true if
+  // the predicate was satisfied, false if the queue drained first.
+  template <typename Pred>
+  bool RunUntil(Pred&& pred, std::uint64_t max_events = UINT64_MAX) {
+    while (!pred()) {
+      if (max_events-- == 0) return false;
+      if (!Step()) return false;
+    }
+    return true;
+  }
+
+  // Awaitable: suspends the calling coroutine for `delay` ticks.
+  // `co_await sim.Delay(0)` yields through the event queue (fair handoff).
+  auto Delay(Tick delay) {
+    struct Awaiter {
+      Simulator& sim;
+      Tick delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sim.Resume(h, delay); }
+      void await_resume() const noexcept {}
+    };
+    assert(delay >= 0);
+    return Awaiter{*this, delay};
+  }
+
+ private:
+  struct Event {
+    Tick time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace vmmc::sim

@@ -1,0 +1,48 @@
+// Simulated time. One Tick is one nanosecond; all hardware cost models in
+// the repository quote times in these units. Rates are expressed in MB/s
+// (decimal megabytes, as in the paper) and converted with NsForBytes.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace vmmc::sim {
+
+using Tick = std::int64_t;  // nanoseconds
+
+constexpr Tick kNanosecond = 1;
+constexpr Tick kMicrosecond = 1000;
+constexpr Tick kMillisecond = 1000 * 1000;
+constexpr Tick kSecond = 1000 * 1000 * 1000;
+
+constexpr Tick Nanoseconds(std::int64_t n) { return n; }
+constexpr Tick Microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Tick Milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Tick Seconds(std::int64_t n) { return n * kSecond; }
+
+constexpr double ToMicroseconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+// Serialization time of `bytes` at `mb_per_s` decimal megabytes/second,
+// rounded up so a transfer never finishes early.
+constexpr Tick NsForBytes(std::uint64_t bytes, double mb_per_s) {
+  // 1 MB/s == 1 byte/us == 1e-3 bytes/ns.
+  const double ns = static_cast<double>(bytes) / (mb_per_s * 1e-3);
+  return static_cast<Tick>(ns + 0.999999);
+}
+
+// Throughput in MB/s given bytes moved over an interval.
+constexpr double MBPerSec(std::uint64_t bytes, Tick elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) * 1e3 / static_cast<double>(elapsed);
+}
+
+namespace literals {
+constexpr Tick operator""_ns(unsigned long long n) { return static_cast<Tick>(n); }
+constexpr Tick operator""_us(unsigned long long n) { return static_cast<Tick>(n) * kMicrosecond; }
+constexpr Tick operator""_ms(unsigned long long n) { return static_cast<Tick>(n) * kMillisecond; }
+constexpr Tick operator""_s(unsigned long long n) { return static_cast<Tick>(n) * kSecond; }
+}  // namespace literals
+
+}  // namespace vmmc::sim

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Logging in the simulator is for debugging and
+// tracing only; benches and tests run with logging off by default.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vmmc {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// Global log threshold. Messages below it are discarded cheaply.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; defaults to kWarn.
+LogLevel ParseLogLevel(std::string_view name);
+
+namespace detail {
+void EmitLog(LogLevel level, std::string_view component, const std::string& msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { EmitLog(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace vmmc
+
+// Usage: VMMC_LOG(kInfo, "lcp") << "send queue " << qid << " drained";
+#define VMMC_LOG(level, component)                              \
+  if (::vmmc::LogLevel::level < ::vmmc::GetLogLevel()) {        \
+  } else                                                        \
+    ::vmmc::detail::LogLine(::vmmc::LogLevel::level, component)

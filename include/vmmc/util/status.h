@@ -1,0 +1,120 @@
+// Lightweight status / expected types used across the VMMC codebase.
+//
+// We avoid exceptions on hot simulated paths (a rejected send is a normal
+// protocol outcome, not an exceptional one), so fallible operations return
+// Status or Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vmmc {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kPermissionDenied,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kAlreadyExists,
+  kInternal,
+};
+
+// Human-readable name for an ErrorCode ("OK", "PERMISSION_DENIED", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A status word: either OK or an error code plus a message.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "PERMISSION_DENIED: not allowed to import".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(ErrorCode::kPermissionDenied, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(ErrorCode::kOutOfRange, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(ErrorCode::kUnavailable, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+// Result<T>: a value or an error Status. Asserts on misuse.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {   // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace vmmc

@@ -1,0 +1,141 @@
+// The VMMC basic library (§4.1): the user-level API a program links with
+// to communicate using VMMC calls. One Endpoint per (process, NIC).
+//
+// Core operations, following the paper:
+//   ExportBuffer  — offer part of the address space as a receive buffer;
+//   ImportBuffer  — map a remote receive buffer into the destination proxy
+//                   space; returns a proxy address;
+//   SendMsg       — deliberate-update transfer, synchronous (returns when
+//                   the send buffer is reusable);
+//   SendMsgAsync / CheckSend / WaitSend — asynchronous variant (§5.3);
+//   SetNotificationHandler — user-level handler invoked after a message
+//                   with a notification is delivered (§2).
+//
+// There is no receive operation: data lands directly in exported memory
+// without interrupting the receiver's CPU (§2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vmmc/host/machine.h"
+#include "vmmc/sim/task.h"
+#include "vmmc/vmmc/daemon.h"
+#include "vmmc/vmmc/driver.h"
+#include "vmmc/vmmc/lcp.h"
+
+namespace vmmc::vmmc_core {
+
+struct SendHandle {
+  std::uint32_t slot = 0;
+  std::uint64_t generation = 0;
+};
+
+struct SendOptions {
+  bool notify = false;
+};
+
+struct ImportOptions {
+  // Retry until the export appears (the exporter may not have run yet).
+  bool wait = false;
+  int max_attempts = 200;
+  sim::Tick retry_interval = 500 * sim::kMicrosecond;
+};
+
+class Endpoint {
+ public:
+  using NotificationHandler =
+      std::function<sim::Process(const UserNotification&)>;
+
+  // Opens VMMC for `process`: registers it with the LCP (allocating its
+  // SRAM structures), sets up the completion-word array, and installs the
+  // notification signal handler.
+  static Result<std::unique_ptr<Endpoint>> Open(const Params& params,
+                                                host::Machine& machine,
+                                                VmmcLcp& lcp, VmmcDriver& driver,
+                                                VmmcDaemon& daemon,
+                                                host::UserProcess& process);
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  host::UserProcess& process() { return *process_; }
+  mem::AddressSpace& memory() { return process_->address_space(); }
+  int node_id() const { return daemon_->node_id(); }
+
+  // --- buffer management helpers (user-space malloc over the simulated
+  //     address space; page-aligned so buffers are exportable) ---
+  Result<mem::VirtAddr> AllocBuffer(std::uint32_t len);
+  Status FreeBuffer(mem::VirtAddr va);
+  Status WriteBuffer(mem::VirtAddr va, std::span<const std::uint8_t> data);
+  Status ReadBuffer(mem::VirtAddr va, std::span<std::uint8_t> out) const;
+
+  // --- export / import ---
+  sim::Task<Result<ExportId>> ExportBuffer(mem::VirtAddr va, std::uint32_t len,
+                                           ExportOptions options);
+  sim::Task<Status> UnexportBuffer(ExportId id);
+  sim::Task<Result<ImportedBuffer>> ImportBuffer(int remote_node,
+                                                 const std::string& name,
+                                                 ImportOptions options = {});
+  sim::Task<Status> UnimportBuffer(const ImportedBuffer& buffer);
+
+  // --- data transfer ---
+  // Synchronous send: returns once the send buffer is reusable — for short
+  // messages right after the data is PIO-copied to the interface, for long
+  // messages once the last chunk is in LANai SRAM (§5.3).
+  sim::Task<Status> SendMsg(mem::VirtAddr src, ProxyAddr dst, std::uint32_t len,
+                            SendOptions options = {});
+  // Asynchronous send: returns after posting the request (§5.3).
+  sim::Task<Result<SendHandle>> SendMsgAsync(mem::VirtAddr src, ProxyAddr dst,
+                                             std::uint32_t len,
+                                             SendOptions options = {});
+  // Non-blocking completion test (does not consume the handle).
+  bool CheckSend(const SendHandle& handle) const;
+  // Blocks (spins) until the send completes; consumes the handle.
+  sim::Task<Status> WaitSend(SendHandle handle);
+
+  // --- notifications ---
+  void SetNotificationHandler(ExportId id, NotificationHandler handler);
+  std::uint64_t notifications_received() const { return notifications_received_; }
+
+  // Errors of fire-and-forget short sends, observed via completion words.
+  std::uint64_t deferred_send_errors() const { return deferred_send_errors_; }
+
+  const VmmcLcp::Stats& nic_stats() const { return lcp_->stats(); }
+
+ private:
+  Endpoint(const Params& params, host::Machine& machine, VmmcLcp& lcp,
+           VmmcDriver& driver, VmmcDaemon& daemon, host::UserProcess& process);
+
+  sim::Process NotificationSignalHandler();
+  sim::Process ReapSlot(SendHandle handle);
+  Status ToStatus(SendStatus s) const;
+
+  const Params& params_;
+  host::Machine* machine_;
+  VmmcLcp* lcp_;
+  VmmcDriver* driver_;
+  VmmcDaemon* daemon_;
+  host::UserProcess* process_;
+  ProcState* state_ = nullptr;
+
+  // Completion slot bookkeeping (mirrors the per-slot user memory words).
+  struct Slot {
+    bool in_use = false;
+    std::uint64_t generation = 0;
+  };
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unique_ptr<sim::Semaphore> slot_tokens_;
+  std::uint64_t next_generation_ = 1;
+
+  std::unordered_map<ExportId, NotificationHandler> handlers_;
+  std::uint64_t notifications_received_ = 0;
+  std::uint64_t deferred_send_errors_ = 0;
+};
+
+}  // namespace vmmc::vmmc_core

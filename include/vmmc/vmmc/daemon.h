@@ -1,0 +1,138 @@
+// The VMMC daemon (one per node, §4.1/§4.4): user programs submit export
+// and import requests to their local daemon; daemons talk to each other
+// over Ethernet to match exports with imports and set up the page tables
+// in the LANai control program.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vmmc/ethernet/ethernet.h"
+#include "vmmc/host/kernel.h"
+#include "vmmc/lanai/nic_card.h"
+#include "vmmc/params.h"
+#include "vmmc/sim/task.h"
+#include "vmmc/vmmc/lcp.h"
+
+namespace vmmc::vmmc_core {
+
+using ExportId = std::uint32_t;
+
+// Import restrictions attached to an export (§2: "An exporter can restrict
+// possible importers of a buffer; VMMC enforces the restrictions when an
+// import is attempted").
+struct ExportAcl {
+  bool allow_all = true;
+  // (node, pid) pairs; pid -1 matches any process on the node.
+  std::vector<std::pair<int, int>> allowed;
+
+  bool Permits(int node, int pid) const {
+    if (allow_all) return true;
+    for (const auto& [n, p] : allowed) {
+      if (n == node && (p == -1 || p == pid)) return true;
+    }
+    return false;
+  }
+};
+
+struct ExportOptions {
+  std::string name;      // the key importers use
+  bool notify = false;   // raise a notification on message arrival
+  ExportAcl acl;
+};
+
+struct ImportedBuffer {
+  ProxyAddr proxy_base = 0;
+  std::uint32_t len = 0;
+  int remote_node = -1;
+};
+
+class VmmcDaemon {
+ public:
+  static constexpr std::uint16_t kPort = 700;
+
+  VmmcDaemon(const Params& params, int node_id, host::Kernel& kernel,
+             lanai::NicCard& nic, ethernet::Interface& eth)
+      : params_(params), node_id_(node_id), kernel_(kernel), nic_(nic), eth_(eth) {}
+  VmmcDaemon(const VmmcDaemon&) = delete;
+  VmmcDaemon& operator=(const VmmcDaemon&) = delete;
+
+  // Called by the cluster once the VMMC LCP is loaded; also starts the
+  // Ethernet server loop.
+  Status Start(VmmcLcp* lcp);
+
+  int node_id() const { return node_id_; }
+
+  // --- local requests from the VMMC library (user -> daemon IPC) ---
+
+  // Exports [va, va+len) of `proc` as a receive buffer: pins the pages and
+  // enables them in the incoming page table (§4.4).
+  sim::Task<Result<ExportId>> Export(host::UserProcess& proc, mem::VirtAddr va,
+                                     std::uint32_t len, ExportOptions options);
+  sim::Task<Status> Unexport(host::UserProcess& proc, ExportId id);
+
+  // Imports the buffer exported under `name` on `remote_node` into
+  // `state`'s outgoing page table; returns the proxy base address.
+  sim::Task<Result<ImportedBuffer>> Import(ProcState& state, int remote_node,
+                                           const std::string& name);
+  sim::Task<Status> Unimport(ProcState& state, const ImportedBuffer& buffer);
+
+  std::uint64_t exports_served() const { return exports_served_; }
+  std::uint64_t imports_matched() const { return imports_matched_; }
+  std::uint64_t imports_rejected() const { return imports_rejected_; }
+
+ private:
+  struct ExportRecord {
+    ExportId id;
+    int pid;
+    std::string name;
+    mem::VirtAddr va;
+    std::uint32_t len;
+    std::vector<mem::Pfn> frames;
+    bool notify;
+    ExportAcl acl;
+  };
+
+  // Daemon-to-daemon protocol (binary, over UDP-like datagrams).
+  struct ImportReply {
+    Status status = OkStatus();
+    std::uint32_t len = 0;
+    bool notify = false;
+    std::vector<mem::Pfn> frames;
+  };
+
+  sim::Process ServerLoop();
+  sim::Process HandleRequest(ethernet::Datagram dgram);
+  ImportReply LookupForImport(const std::string& name, int importer_node,
+                              int importer_pid);
+
+  const Params& params_;
+  int node_id_;
+  host::Kernel& kernel_;
+  lanai::NicCard& nic_;
+  ethernet::Interface& eth_;
+  VmmcLcp* lcp_ = nullptr;
+
+  sim::Mailbox<ethernet::Datagram>* server_box_ = nullptr;
+  std::unordered_map<std::string, ExportRecord> exports_;
+  ExportId next_export_id_ = 1;
+  std::uint32_t next_tag_ = 1;
+
+  // Outstanding import requests keyed by tag.
+  struct PendingImport {
+    std::unique_ptr<sim::Event> done;
+    ImportReply reply;
+  };
+  std::unordered_map<std::uint32_t, PendingImport> pending_imports_;
+  std::uint16_t reply_port_ = 0;
+  sim::Mailbox<ethernet::Datagram>* reply_box_ = nullptr;
+
+  std::uint64_t exports_served_ = 0;
+  std::uint64_t imports_matched_ = 0;
+  std::uint64_t imports_rejected_ = 0;
+};
+
+}  // namespace vmmc::vmmc_core

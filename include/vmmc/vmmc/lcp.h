@@ -1,0 +1,212 @@
+// The VMMC LANai control program (§4) — the software state machine that
+// runs on the NIC and implements virtual memory-mapped communication:
+//
+//  * per-process send queues in SRAM; short sends (<= 128 B) carry their
+//    data in the queue entry, long sends carry only {virtual address,
+//    length, proxy address} (§4.5);
+//  * per-process outgoing page tables and software TLBs in SRAM (§4.4/4.5);
+//  * long messages chunked at the page size, first chunk aligned to the
+//    source page boundary; host-DMA and net-DMA pipelined; headers
+//    precomputed while the previous chunk's host DMA is in flight (§4.5);
+//  * two-address scatter on receive for chunks crossing a destination page
+//    boundary (§4.5);
+//  * completion word DMAed back to user space when the last chunk is
+//    safely in LANai SRAM (§4.5);
+//  * software-TLB misses serviced by the host driver via interrupt, up to
+//    32 translations per interrupt (§4.5);
+//  * notifications raised through the driver and a signal (§2, §5.1);
+//  * a tight sending loop for one-way traffic, abandoned when packets
+//    arrive (§5.3 — the cause of the bidirectional bandwidth drop).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "vmmc/host/kernel.h"
+#include "vmmc/lanai/nic_card.h"
+#include "vmmc/myrinet/packet.h"
+#include "vmmc/params.h"
+#include "vmmc/sim/sync.h"
+#include "vmmc/sim/task.h"
+#include "vmmc/vmmc/page_tables.h"
+#include "vmmc/vmmc/sw_tlb.h"
+#include "vmmc/vmmc/wire.h"
+
+namespace vmmc::vmmc_core {
+
+// Per-node routing table produced by the mapping phase: source route to
+// every destination node.
+using RouteTable = std::vector<myrinet::Route>;
+
+// Values the LCP writes into the user-space completion word.
+enum class SendStatus : std::uint32_t {
+  kPending = 0,
+  kDone = 1,
+  kBadProxy = 2,    // proxy page not mapped / crosses import boundary
+  kBadLength = 3,   // exceeds the 8 MB limit
+  kBadAddress = 4,  // source virtual address unmapped
+};
+
+// One entry of a per-process send queue. The host writes it with PIO; the
+// LCP consumes it.
+struct SendRequest {
+  std::uint32_t len = 0;
+  ProxyAddr proxy = 0;
+  mem::VirtAddr src_va = 0;                // long sends
+  std::vector<std::uint8_t> inline_data;   // short sends
+  bool notify = false;
+  std::uint32_t slot = 0;                  // completion slot
+};
+
+// NIC-resident state of one process using VMMC (all accounted in SRAM).
+class ProcState {
+ public:
+  ProcState(sim::Simulator& sim, const VmmcParams& params,
+            host::UserProcess& process);
+
+  int pid() const { return process_->pid(); }
+  host::UserProcess& process() { return *process_; }
+  OutgoingPageTable& outgoing() { return outgoing_; }
+  SwTlb& tlb() { return tlb_; }
+
+  // Send queue, bounded by send_queue_entries; the host acquires a slot
+  // token before writing an entry.
+  sim::Semaphore& queue_slots() { return queue_slots_; }
+  std::deque<SendRequest>& send_queue() { return send_queue_; }
+
+  // Completion words live in pinned user memory at completion_base; the
+  // events model the cache line the user spins on.
+  mem::VirtAddr completion_base = 0;
+  std::vector<std::unique_ptr<sim::Event>> completion_events;
+
+  // TLB-miss handshake with the driver.
+  std::optional<mem::Vpn> pending_miss;
+  sim::Event tlb_filled;
+
+  // A long send in progress: the main loop advances it one chunk at a
+  // time so incoming packets are serviced between chunks (§5.3).
+  struct ActiveLongSend {
+    SendRequest req;
+    std::uint32_t offset = 0;
+    bool first_chunk = true;
+  };
+  std::optional<ActiveLongSend> active;
+
+  // SRAM regions backing this state (freed on unregister).
+  std::vector<std::uint32_t> sram_regions;
+
+ private:
+  host::UserProcess* process_;
+  OutgoingPageTable outgoing_;
+  SwTlb tlb_;
+  sim::Semaphore queue_slots_;
+  std::deque<SendRequest> send_queue_;
+};
+
+// A notification waiting for the driver to deliver (§2: invoke a user-level
+// handler in the receiving process after delivery).
+struct PendingNotification {
+  int pid = -1;
+  std::uint32_t export_id = 0;
+  std::uint32_t msg_len = 0;
+};
+
+class VmmcLcp : public lanai::Lcp {
+ public:
+  VmmcLcp(const Params& params, RouteTable routes);
+
+  // --- LCP main loop (runs on the LANai) ---
+  sim::Process Run(lanai::NicCard& nic) override;
+
+  // --- host-visible interface (driver / daemon / library reach these
+  //     structures through PIO and shared SRAM; the callers charge the
+  //     access costs) ---
+  Result<ProcState*> RegisterProcess(host::UserProcess& process);
+  Status UnregisterProcess(int pid);
+  ProcState* FindProc(int pid);
+  std::size_t process_count() const { return procs_.size(); }
+
+  IncomingPageTable& incoming() { return *incoming_; }
+
+  // Host posts a send request (after charging the PIO writes) and rings
+  // the doorbell.
+  Status PostSend(ProcState& proc, SendRequest request);
+
+  // Driver: TLB-miss service (§4.5).
+  std::optional<std::pair<int, mem::Vpn>> TakePendingTlbMiss();
+  void CompleteTlbFill(int pid,
+                       const std::vector<std::pair<mem::Vpn, mem::Pfn>>& fills);
+
+  // Driver: pending notifications.
+  std::optional<PendingNotification> PopNotification();
+
+  // --- statistics (read by tests and benches) ---
+  struct Stats {
+    std::uint64_t sends_processed = 0;
+    std::uint64_t short_sends = 0;
+    std::uint64_t long_sends = 0;
+    std::uint64_t chunks_sent = 0;
+    std::uint64_t chunks_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t send_errors = 0;
+    std::uint64_t protection_violations = 0;  // receive-side rejects
+    std::uint64_t crc_drops = 0;
+    std::uint64_t tlb_miss_interrupts = 0;
+    std::uint64_t notifications_raised = 0;
+    std::uint64_t tight_loop_chunks = 0;
+    std::uint64_t main_loop_chunks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // True once the main loop has initialized its SRAM structures.
+  bool running() const { return running_; }
+
+ private:
+  // Starts a freshly picked-up request: full processing for short sends,
+  // an ActiveLongSend for long ones.
+  sim::Process StartSend(lanai::NicCard& nic, ProcState& proc, SendRequest req);
+  sim::Process HandleShortSend(lanai::NicCard& nic, ProcState& proc,
+                               SendRequest& req);
+  // Advances an active long send by one chunk.
+  sim::Process SendOneChunk(lanai::NicCard& nic, ProcState& proc);
+  void FinishRequest(ProcState& proc, std::uint32_t slot, SendStatus status);
+  sim::Process HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp);
+  // Translates a source page, interrupting the host on a TLB miss.
+  sim::Task<Result<mem::Pfn>> TranslateSrc(lanai::NicCard& nic, ProcState& proc,
+                                           mem::Vpn vpn);
+  // Validates the destination of a chunk; fills pa0/pa1.
+  Result<std::pair<std::uint64_t, std::uint64_t>> ResolveChunkTarget(
+      ProcState& proc, ProxyAddr proxy, std::uint32_t chunk_len,
+      std::uint32_t* dst_node);
+  void WriteCompletion(ProcState& proc, std::uint32_t slot, SendStatus status);
+  // Dedicated transmit pump: keeps net-DMA busy while the main path host-
+  // DMAs the next chunk (the §4.5 pipelining).
+  sim::Process TxPump(lanai::NicCard& nic);
+  ProcState* NextProcWithWork();
+
+  const Params& params_;
+  RouteTable routes_;
+  lanai::NicCard* nic_ = nullptr;
+
+  std::vector<std::unique_ptr<ProcState>> procs_;
+  std::size_t rr_cursor_ = 0;  // round-robin over send queues
+  std::unique_ptr<IncomingPageTable> incoming_;  // sized at Run (needs machine)
+  std::deque<PendingNotification> notifications_;
+  Stats stats_;
+
+  // Pipelining machinery.
+  struct TxItem {
+    myrinet::Packet packet;
+    bool release_staging = false;
+  };
+  std::unique_ptr<sim::Mailbox<TxItem>> tx_box_;
+  std::unique_ptr<sim::Semaphore> staging_;  // 2 chunk staging buffers
+
+  bool running_ = false;
+};
+
+}  // namespace vmmc::vmmc_core

@@ -1,0 +1,54 @@
+// The network-mapping phase (§4.3): at boot each daemon loads a special
+// LANai control program that maps the network; once every node has its
+// routing information the mapping LCP is replaced by the VMMC LCP, and no
+// dynamic remapping happens afterwards (static-topology assumption, §4.2).
+//
+// Substitution note (see DESIGN.md): the route *computation* stands in for
+// Myricom's proprietary mapper — routes come from a BFS over the fabric
+// graph — but route *verification* is real: every route is exercised by a
+// probe packet carrying its return route, answered by the peer's mapping
+// LCP through the actual simulated network.
+#pragma once
+
+#include <cstdint>
+
+#include "vmmc/lanai/nic_card.h"
+#include "vmmc/sim/sync.h"
+#include "vmmc/sim/task.h"
+#include "vmmc/vmmc/lcp.h"
+#include "vmmc/vmmc/wire.h"
+
+namespace vmmc::vmmc_core {
+
+class MappingLcp : public lanai::Lcp {
+ public:
+  explicit MappingLcp(sim::Simulator& sim) : replies_(sim), stopped_(sim) {}
+
+  sim::Process Run(lanai::NicCard& nic) override;
+
+  // Asks the LCP to exit its loop; `stopped()` fires once it has.
+  void RequestStop(lanai::NicCard& nic) {
+    stop_ = true;
+    nic.NotifyWork();
+  }
+  sim::Event& stopped() { return stopped_; }
+
+  // Tags of map replies received (consumed by the prober).
+  sim::Mailbox<std::uint32_t>& replies() { return replies_; }
+
+  std::uint64_t probes_answered() const { return probes_answered_; }
+
+ private:
+  sim::Mailbox<std::uint32_t> replies_;
+  sim::Event stopped_;
+  bool stop_ = false;
+  std::uint64_t probes_answered_ = 0;
+};
+
+// Runs the whole mapping procedure for one node: computes a route to every
+// other node, verifies each with a probe/reply exchange, and returns the
+// routing table. Must run while every node has a MappingLcp loaded.
+sim::Task<Result<RouteTable>> MapNetwork(lanai::NicCard& nic, MappingLcp& lcp,
+                                         int num_nodes);
+
+}  // namespace vmmc::vmmc_core

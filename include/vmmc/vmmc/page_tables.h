@@ -1,0 +1,112 @@
+// The two page tables the VMMC design keeps on each network interface
+// (§4.4), mirrored from the SHRIMP design:
+//
+//  * the INCOMING page table — one per interface, one entry per physical
+//    memory frame; says whether an incoming message may write the frame
+//    and whether delivery should raise a notification;
+//  * the OUTGOING page table — one per *process* using VMMC on the node
+//    (unlike SHRIMP's one per interface, §6); each entry corresponds to a
+//    proxy page of an imported receive buffer and encodes, in a 32-bit
+//    integer, the destination node index and physical page address.
+//
+// Proxy addresses: an address in the sender's destination proxy space is a
+// proxy page number plus an offset within the page (§4.4). The proxy space
+// is a separate address space in this implementation (as on Myrinet).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vmmc/mem/types.h"
+#include "vmmc/util/status.h"
+
+namespace vmmc::vmmc_core {
+
+// An address in a process's destination proxy space.
+using ProxyAddr = std::uint64_t;
+
+constexpr std::uint64_t ProxyPage(ProxyAddr a) { return mem::PageNumber(a); }
+constexpr std::uint64_t ProxyOffset(ProxyAddr a) { return mem::PageOffset(a); }
+constexpr ProxyAddr MakeProxyAddr(std::uint64_t page, std::uint64_t offset) {
+  return mem::PageAddr(page) + offset;
+}
+
+// ---------------------------------------------------------------------------
+// Outgoing page table (per process; lives in LANai SRAM).
+// ---------------------------------------------------------------------------
+//
+// Entry layout (the paper's "32-bit integer which encodes the destination
+// node index and physical page address"):
+//   bit 31    : valid
+//   bits 30-24: destination node index (7 bits, up to 128 nodes)
+//   bits 23-0 : destination physical frame number (24 bits, up to 64 GB)
+class OutgoingPageTable {
+ public:
+  explicit OutgoingPageTable(std::uint32_t num_entries)
+      : entries_(num_entries, 0) {}
+
+  static constexpr std::uint32_t kValidBit = 0x8000'0000u;
+  static constexpr std::uint32_t kMaxNode = 127;
+  static constexpr std::uint64_t kMaxPfn = (1u << 24) - 1;
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  // Raw 32-bit entry (tests / diagnostics).
+  std::uint32_t raw(std::uint32_t proxy_page) const {
+    return entries_.at(proxy_page);
+  }
+
+  // Installs a mapping proxy_page -> (node, pfn).
+  Status Set(std::uint32_t proxy_page, std::uint32_t dst_node, mem::Pfn dst_pfn);
+  Status Clear(std::uint32_t proxy_page);
+
+  struct Target {
+    std::uint32_t node;
+    mem::Pfn pfn;
+  };
+  // Looks up a proxy page; fails on out-of-range or invalid entries — this
+  // check is what stops a process sending anywhere it has not imported.
+  Result<Target> Lookup(std::uint32_t proxy_page) const;
+
+  // Finds `count` consecutive invalid entries and returns the first index
+  // (import-time proxy-page allocation). Fails if no run exists.
+  Result<std::uint32_t> AllocateRun(std::uint32_t count) const;
+
+  std::uint32_t valid_entries() const;
+
+ private:
+  std::vector<std::uint32_t> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Incoming page table (per interface): one entry per physical frame.
+// ---------------------------------------------------------------------------
+struct IncomingEntry {
+  bool recv_enabled = false;  // frame may be written by incoming messages
+  bool notify = false;        // delivery raises a notification
+  std::int32_t owner_pid = -1;
+  std::uint32_t export_id = 0;
+};
+
+class IncomingPageTable {
+ public:
+  explicit IncomingPageTable(std::uint64_t num_frames)
+      : entries_(num_frames) {}
+
+  std::uint64_t num_frames() const { return entries_.size(); }
+
+  Status Enable(mem::Pfn pfn, bool notify, std::int32_t owner_pid,
+                std::uint32_t export_id);
+  Status Disable(mem::Pfn pfn);
+
+  // nullptr if out of range; receive path treats that as a violation.
+  const IncomingEntry* Find(mem::Pfn pfn) const;
+
+  std::uint64_t enabled_count() const;
+
+ private:
+  std::vector<IncomingEntry> entries_;
+};
+
+}  // namespace vmmc::vmmc_core

@@ -1,0 +1,69 @@
+// On-the-wire format of VMMC packets.
+//
+// A long message is sent in chunks; "each chunk consists of routing
+// information, a header, and data. The routing information is in standard
+// Myrinet format. The header includes the message length and two physical
+// destination addresses" (§4.5) — two so the receiving LANai can scatter a
+// chunk that spans a page boundary in destination memory; when no boundary
+// is crossed the second address is zero. The receiver computes the scatter
+// lengths from the addresses and the chunk length.
+//
+// The same framing carries the mapping-phase probe/reply packets (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "vmmc/mem/types.h"
+
+namespace vmmc::vmmc_core {
+
+enum class PacketType : std::uint8_t {
+  kData = 1,       // VMMC chunk
+  kMapProbe = 2,   // network-mapping probe
+  kMapReply = 3,   // network-mapping reply
+};
+
+struct ChunkHeader {
+  static constexpr std::size_t kWireSize = 32;
+
+  PacketType type = PacketType::kData;
+  std::uint8_t flags = 0;
+  static constexpr std::uint8_t kFlagLastChunk = 0x01;
+  static constexpr std::uint8_t kFlagNotify = 0x02;
+
+  std::uint16_t src_node = 0;
+  std::uint32_t msg_len = 0;    // total message length in bytes
+  std::uint32_t chunk_len = 0;  // bytes of data in this chunk
+  std::uint64_t dst_pa0 = 0;    // first scatter target
+  std::uint64_t dst_pa1 = 0;    // second scatter target (0: none)
+  std::uint32_t tag = 0;        // sender-side bookkeeping (mapping: probe id)
+
+  bool last_chunk() const { return flags & kFlagLastChunk; }
+  bool notify() const { return flags & kFlagNotify; }
+
+  // Scatter split: how many of chunk_len bytes go to dst_pa0. The first
+  // segment runs to the end of dst_pa0's page if a second address is set.
+  std::uint32_t ScatterLen0() const {
+    if (dst_pa1 == 0) return chunk_len;
+    const std::uint64_t to_page_end = mem::kPageSize - mem::PageOffset(dst_pa0);
+    return static_cast<std::uint32_t>(
+        to_page_end < chunk_len ? to_page_end : chunk_len);
+  }
+};
+
+// Serializes header + data into a packet payload (little endian).
+std::vector<std::uint8_t> EncodeChunk(const ChunkHeader& header,
+                                      std::span<const std::uint8_t> data);
+
+// Parses a payload; returns nullopt on malformed input (short payload or
+// length mismatch). `data` views into `payload`, which must outlive it.
+struct DecodedChunk {
+  ChunkHeader header;
+  std::span<const std::uint8_t> data;
+};
+std::optional<DecodedChunk> DecodeChunk(std::span<const std::uint8_t> payload);
+
+}  // namespace vmmc::vmmc_core

@@ -1,0 +1,48 @@
+// SunRPC (RFC 1057) message framing: call and reply headers with AUTH_NULL
+// credentials, encoded in XDR. vRPC reimplements the network layer but
+// keeps this format so existing clients/servers interoperate (§5.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vmmc/vrpc/xdr.h"
+
+namespace vmmc::vrpc {
+
+constexpr std::uint32_t kRpcVersion = 2;
+
+enum class MsgType : std::uint32_t { kCall = 0, kReply = 1 };
+enum class ReplyStat : std::uint32_t { kAccepted = 0, kDenied = 1 };
+enum class AcceptStat : std::uint32_t {
+  kSuccess = 0,
+  kProgUnavail = 1,
+  kProgMismatch = 2,
+  kProcUnavail = 3,
+  kGarbageArgs = 4,
+};
+
+struct CallMessage {
+  std::uint32_t xid = 0;
+  std::uint32_t prog = 0;
+  std::uint32_t vers = 0;
+  std::uint32_t proc = 0;
+  std::vector<std::uint8_t> args;  // XDR-encoded procedure arguments
+};
+
+struct ReplyMessage {
+  std::uint32_t xid = 0;
+  AcceptStat stat = AcceptStat::kSuccess;
+  std::vector<std::uint8_t> results;  // XDR-encoded results (on success)
+};
+
+// Wire encoding (header + body).
+std::vector<std::uint8_t> EncodeCall(const CallMessage& call);
+std::vector<std::uint8_t> EncodeReply(const ReplyMessage& reply);
+
+// Parsing; nullopt on malformed input.
+std::optional<CallMessage> DecodeCall(std::span<const std::uint8_t> bytes);
+std::optional<ReplyMessage> DecodeReply(std::span<const std::uint8_t> bytes);
+
+}  // namespace vmmc::vrpc

@@ -1,0 +1,52 @@
+// The classic SunRPC transport: UDP datagrams over the Ethernet — the
+// baseline vRPC is measured against ("The server in vRPC can handle
+// clients using either the old (UDP- and TCP-based) or the new
+// (VMMC-based) protocols", §5.4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "vmmc/ethernet/ethernet.h"
+#include "vmmc/params.h"
+#include "vmmc/vrpc/vrpc.h"
+
+namespace vmmc::vrpc {
+
+constexpr std::uint16_t kRpcUdpPort = 111;
+
+class UdpServerTransport : public ServerTransport {
+ public:
+  UdpServerTransport(const Params& params, sim::Simulator& sim,
+                     ethernet::Interface& eth, std::uint16_t port = kRpcUdpPort)
+      : params_(params), sim_(sim), eth_(eth), port_(port) {}
+
+  sim::Process Serve(RawHandler handler) override;
+
+ private:
+  const Params& params_;
+  sim::Simulator& sim_;
+  ethernet::Interface& eth_;
+  std::uint16_t port_;
+};
+
+class UdpClientTransport : public ClientTransport {
+ public:
+  UdpClientTransport(const Params& params, sim::Simulator& sim,
+                     ethernet::Interface& eth, int server_node,
+                     std::uint16_t server_port = kRpcUdpPort);
+
+  sim::Task<Result<std::vector<std::uint8_t>>> RoundTrip(
+      std::vector<std::uint8_t> request) override;
+
+ private:
+  const Params& params_;
+  sim::Simulator& sim_;
+  ethernet::Interface& eth_;
+  int server_node_;
+  std::uint16_t server_port_;
+  std::uint16_t local_port_;
+  sim::Mailbox<ethernet::Datagram>* inbox_ = nullptr;
+};
+
+}  // namespace vmmc::vrpc

@@ -1,0 +1,55 @@
+// XDR (RFC 1014) encoding — the serialization SunRPC mandates: big-endian,
+// every item padded to a 4-byte boundary. vRPC keeps full XDR
+// compatibility (§5.4: "remain fully compatible with the existing SunRPC
+// implementations").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vmmc::vrpc {
+
+class XdrWriter {
+ public:
+  void PutU32(std::uint32_t v);
+  void PutI32(std::int32_t v) { PutU32(static_cast<std::uint32_t>(v)); }
+  void PutU64(std::uint64_t v);
+  void PutBool(bool v) { PutU32(v ? 1 : 0); }
+  // Variable-length opaque: length word + bytes + padding.
+  void PutOpaque(std::span<const std::uint8_t> bytes);
+  void PutString(const std::string& s);
+
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::vector<std::uint8_t> Take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class XdrReader {
+ public:
+  explicit XdrReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint32_t GetU32();
+  std::int32_t GetI32() { return static_cast<std::int32_t>(GetU32()); }
+  std::uint64_t GetU64();
+  bool GetBool() { return GetU32() != 0; }
+  std::vector<std::uint8_t> GetOpaque();
+  std::string GetString();
+
+ private:
+  bool Need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace vmmc::vrpc

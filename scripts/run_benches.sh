@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table of the paper plus the ablations.
+# Usage: scripts/run_benches.sh [build-dir]
+set -euo pipefail
+build="${1:-build}"
+
+order=(
+  fig1_dma_bandwidth
+  fig2_latency
+  fig3_bandwidth
+  fig4_send_overhead
+  tbl_latency_budget
+  tbl_vrpc
+  tbl_nic_tradeoffs
+  tbl_related_work
+  abl_tlb
+  abl_threshold
+  abl_pipeline
+  abl_chunk
+  abl_auto_update
+  abl_multisender
+  abl_hops
+)
+
+for b in "${order[@]}"; do
+  echo "==================================================================="
+  echo "== $b"
+  echo "==================================================================="
+  "$build/bench/$b"
+  echo
+done
+
+echo "==================================================================="
+echo "== sim_microbench (wall-clock engine throughput)"
+echo "==================================================================="
+"$build/bench/sim_microbench" --benchmark_min_time=0.1

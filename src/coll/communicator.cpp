@@ -1,0 +1,357 @@
+#include "vmmc/coll/communicator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vmmc::coll {
+
+using vmmc_core::ExportOptions;
+using vmmc_core::ImportOptions;
+
+namespace {
+// Data slot layout: [payload kMaxMessage][u32 len][u32 seq]; the trailer is
+// sent as a separate (in-order) message so "seq changed" commits a
+// complete payload.
+constexpr std::uint32_t kTrailerOff = Communicator::kMaxMessage;
+constexpr std::uint32_t kSlotBytes = Communicator::kMaxMessage + 8;
+}  // namespace
+
+std::uint32_t Communicator::ReadWord(mem::VirtAddr va) const {
+  std::uint8_t b[4];
+  (void)ep_->ReadBuffer(va, b);
+  return std::uint32_t{b[0]} | (std::uint32_t{b[1]} << 8) |
+         (std::uint32_t{b[2]} << 16) | (std::uint32_t{b[3]} << 24);
+}
+
+sim::Task<Result<std::unique_ptr<Communicator>>> Communicator::Create(
+    vmmc_core::Cluster& cluster, int rank, int size, std::string tag) {
+  using Out = Result<std::unique_ptr<Communicator>>;
+  if (size < 1 || rank < 0 || rank >= size || size > cluster.num_nodes()) {
+    co_return Out(InvalidArgument("bad rank/size"));
+  }
+  std::unique_ptr<Communicator> comm(
+      new Communicator(cluster, rank, size, std::move(tag)));
+  auto ep = cluster.OpenEndpoint(rank, comm->tag_ + "-rank" + std::to_string(rank));
+  if (!ep.ok()) co_return Out(ep.status());
+  comm->ep_ = std::move(ep).value();
+  for (int peer = 0; peer < size; ++peer) {
+    if (peer == rank) continue;
+    Status s = co_await comm->SetupLink(peer);
+    if (!s.ok()) co_return Out(s);
+  }
+  co_return std::move(comm);
+}
+
+sim::Task<Status> Communicator::SetupLink(int peer) {
+  Link link;
+  // Export our receive slot and ack word for this peer.
+  auto slot = ep_->AllocBuffer(kSlotBytes);
+  if (!slot.ok()) co_return slot.status();
+  link.recv_slot = slot.value();
+  auto ack = ep_->AllocBuffer(64);
+  if (!ack.ok()) co_return ack.status();
+  link.ack_word = ack.value();
+  auto ack_staging = ep_->AllocBuffer(64);
+  if (!ack_staging.ok()) co_return ack_staging.status();
+  link.ack_out = ack_staging.value();
+  auto staging = ep_->AllocBuffer(kSlotBytes);
+  if (!staging.ok()) co_return staging.status();
+  link.send_staging = staging.value();
+
+  const std::string me = std::to_string(rank_);
+  const std::string them = std::to_string(peer);
+  {
+    ExportOptions opts;
+    opts.name = tag_ + "-d-" + me + "-" + them;
+    auto id = co_await ep_->ExportBuffer(link.recv_slot, kSlotBytes, std::move(opts));
+    if (!id.ok()) co_return id.status();
+  }
+  {
+    ExportOptions opts;
+    opts.name = tag_ + "-a-" + me + "-" + them;
+    auto id = co_await ep_->ExportBuffer(link.ack_word, 64, std::move(opts));
+    if (!id.ok()) co_return id.status();
+  }
+
+  // Import the peer's counterparts (they may not exist yet: wait).
+  ImportOptions wait;
+  wait.wait = true;
+  wait.max_attempts = 2000;
+  auto data = co_await ep_->ImportBuffer(peer, tag_ + "-d-" + them + "-" + me, wait);
+  if (!data.ok()) co_return data.status();
+  link.send_slot = data.value().proxy_base;
+  auto peer_ack = co_await ep_->ImportBuffer(peer, tag_ + "-a-" + them + "-" + me, wait);
+  if (!peer_ack.ok()) co_return peer_ack.status();
+  link.peer_ack = peer_ack.value().proxy_base;
+
+  links_.emplace(peer, link);
+  co_return OkStatus();
+}
+
+sim::Task<Status> Communicator::SendTo(int peer, std::span<const std::uint8_t> data) {
+  auto it = links_.find(peer);
+  if (it == links_.end()) co_return InvalidArgument("no link to that rank");
+  if (data.size() > kMaxMessage) co_return InvalidArgument("message too large");
+  Link& link = it->second;
+  sim::Simulator& sim = cluster_.simulator();
+
+  // Credit: the previous message on this link must have been consumed.
+  while (ReadWord(link.ack_word) != link.next_send_seq - 1) {
+    co_await sim.Delay(1500);
+  }
+
+  if (!data.empty()) {
+    Status w = ep_->WriteBuffer(link.send_staging, data);
+    if (!w.ok()) co_return w;
+    Status s = co_await ep_->SendMsg(link.send_staging, link.send_slot,
+                                     static_cast<std::uint32_t>(data.size()));
+    if (!s.ok()) co_return s;
+  }
+  // Trailer: [len][seq], written after the payload (in-order delivery).
+  std::uint8_t trailer[8];
+  const auto len = static_cast<std::uint32_t>(data.size());
+  for (int i = 0; i < 4; ++i) trailer[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  for (int i = 0; i < 4; ++i) {
+    trailer[4 + i] = static_cast<std::uint8_t>(link.next_send_seq >> (8 * i));
+  }
+  Status w = ep_->WriteBuffer(link.send_staging + kTrailerOff, trailer);
+  if (!w.ok()) co_return w;
+  Status s = co_await ep_->SendMsg(link.send_staging + kTrailerOff,
+                                   link.send_slot + kTrailerOff, 8);
+  if (!s.ok()) co_return s;
+  ++link.next_send_seq;
+  co_return OkStatus();
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> Communicator::RecvFrom(int peer) {
+  using Out = Result<std::vector<std::uint8_t>>;
+  auto it = links_.find(peer);
+  if (it == links_.end()) co_return Out(InvalidArgument("no link to that rank"));
+  Link& link = it->second;
+  sim::Simulator& sim = cluster_.simulator();
+
+  while (ReadWord(link.recv_slot + kTrailerOff + 4) != link.next_recv_seq) {
+    co_await sim.Delay(1500);
+  }
+  const std::uint32_t len = ReadWord(link.recv_slot + kTrailerOff);
+  if (len > kMaxMessage) co_return Out(InternalError("corrupt trailer"));
+  std::vector<std::uint8_t> out(len);
+  if (len > 0) {
+    Status r = ep_->ReadBuffer(link.recv_slot, out);
+    if (!r.ok()) co_return Out(r);
+  }
+  // Ack consumption so the sender may reuse the slot.
+  std::uint8_t ack[4];
+  for (int i = 0; i < 4; ++i) {
+    ack[i] = static_cast<std::uint8_t>(link.next_recv_seq >> (8 * i));
+  }
+  Status w = ep_->WriteBuffer(link.ack_out, ack);
+  if (!w.ok()) co_return Out(w);
+  Status s = co_await ep_->SendMsg(link.ack_out, link.peer_ack, 4);
+  if (!s.ok()) co_return Out(s);
+  ++link.next_recv_seq;
+  co_return std::move(out);
+}
+
+sim::Task<Status> Communicator::Barrier() {
+  // Dissemination barrier: ceil(log2 size) rounds; in round r, rank sends
+  // to (rank + 2^r) and waits for (rank - 2^r).
+  for (int hop = 1; hop < size_; hop <<= 1) {
+    const int to = (rank_ + hop) % size_;
+    const int from = (rank_ - hop % size_ + size_) % size_;
+    if (to == rank_) continue;
+    Status s = co_await SendTo(to, {});
+    if (!s.ok()) co_return s;
+    auto r = co_await RecvFrom(from);
+    if (!r.ok()) co_return r.status();
+  }
+  ++operations_;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Communicator::Broadcast(int root, std::vector<std::uint8_t>& data) {
+  if (root < 0 || root >= size_) co_return InvalidArgument("bad root");
+  // Length first (small broadcast), then the payload in kMaxMessage pieces
+  // — both along a binomial tree over virtual ranks.
+  const int vrank = (rank_ - root + size_) % size_;
+
+  auto tree_exchange = [&](std::vector<std::uint8_t>& payload) -> sim::Task<Status> {
+    int mask = 1;
+    // Receive phase: find my parent.
+    while (mask < size_) {
+      if (vrank & mask) {
+        const int vsrc = vrank - mask;
+        const int src = (vsrc + root) % size_;
+        auto r = co_await RecvFrom(src);
+        if (!r.ok()) co_return r.status();
+        payload = std::move(r).value();
+        break;
+      }
+      mask <<= 1;
+    }
+    // Send phase: forward to my children.
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < size_) {
+        const int vdst = vrank + mask;
+        const int dst = (vdst + root) % size_;
+        Status s = co_await SendTo(dst, payload);
+        if (!s.ok()) co_return s;
+      }
+      mask >>= 1;
+    }
+    co_return OkStatus();
+  };
+
+  // Piece 0 carries the total length as a 4-byte prefix.
+  std::uint64_t total = (rank_ == root) ? data.size() : 0;
+  std::vector<std::uint8_t> head;
+  if (rank_ == root) {
+    head.resize(4);
+    for (int i = 0; i < 4; ++i) {
+      head[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(static_cast<std::uint32_t>(total) >> (8 * i));
+    }
+  }
+  Status s = co_await tree_exchange(head);
+  if (!s.ok()) co_return s;
+  if (rank_ != root) {
+    if (head.size() != 4) co_return InternalError("broadcast header lost");
+    total = std::uint32_t{head[0]} | (std::uint32_t{head[1]} << 8) |
+            (std::uint32_t{head[2]} << 16) | (std::uint32_t{head[3]} << 24);
+    data.resize(total);
+  }
+
+  for (std::uint64_t off = 0; off < total; off += kMaxMessage) {
+    const std::uint64_t n = std::min<std::uint64_t>(kMaxMessage, total - off);
+    std::vector<std::uint8_t> piece;
+    if (rank_ == root) {
+      piece.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                   data.begin() + static_cast<std::ptrdiff_t>(off + n));
+    }
+    Status ps = co_await tree_exchange(piece);
+    if (!ps.ok()) co_return ps;
+    if (rank_ != root) {
+      if (piece.size() != n) co_return InternalError("broadcast piece lost");
+      std::copy(piece.begin(), piece.end(),
+                data.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+  }
+  ++operations_;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Communicator::Gather(int root, std::span<const std::uint8_t> mine,
+                                       std::vector<std::uint8_t>* all) {
+  if (root < 0 || root >= size_) co_return InvalidArgument("bad root");
+  if (mine.size() > kMaxMessage) co_return InvalidArgument("contribution too large");
+  if (rank_ == root) {
+    if (all == nullptr) co_return InvalidArgument("root needs an output buffer");
+    all->clear();
+    for (int r = 0; r < size_; ++r) {
+      if (r == rank_) {
+        all->insert(all->end(), mine.begin(), mine.end());
+      } else {
+        auto piece = co_await RecvFrom(r);
+        if (!piece.ok()) co_return piece.status();
+        all->insert(all->end(), piece.value().begin(), piece.value().end());
+      }
+    }
+  } else {
+    Status s = co_await SendTo(root, mine);
+    if (!s.ok()) co_return s;
+  }
+  ++operations_;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Communicator::AllReduceSum(std::vector<std::int64_t>& values) {
+  auto pack = [](std::span<const std::int64_t> v) {
+    std::vector<std::uint8_t> bytes(v.size() * 8);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const auto x = static_cast<std::uint64_t>(v[i]);
+      for (int b = 0; b < 8; ++b) {
+        bytes[i * 8 + static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(x >> (8 * b));
+      }
+    }
+    return bytes;
+  };
+  auto unpack = [](std::span<const std::uint8_t> bytes, std::vector<std::int64_t>& v) {
+    v.resize(bytes.size() / 8);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      std::uint64_t x = 0;
+      for (int b = 7; b >= 0; --b) {
+        x = (x << 8) | bytes[i * 8 + static_cast<std::size_t>(b)];
+      }
+      v[i] = static_cast<std::int64_t>(x);
+    }
+  };
+
+  const std::size_t n = values.size();
+  const bool ring_eligible =
+      size_ > 1 && n % static_cast<std::size_t>(size_) == 0 &&
+      (n / static_cast<std::size_t>(size_)) * 8 <= kMaxMessage;
+
+  if (!ring_eligible) {
+    // Fallback: gather at rank 0, reduce, broadcast.
+    std::vector<std::uint8_t> mine = pack(values);
+    if (mine.size() > kMaxMessage) co_return InvalidArgument("vector too large");
+    std::vector<std::uint8_t> all;
+    Status g = co_await Gather(0, mine, rank_ == 0 ? &all : nullptr);
+    if (!g.ok()) co_return g;
+    std::vector<std::uint8_t> reduced;
+    if (rank_ == 0) {
+      std::vector<std::int64_t> sum(n, 0), piece;
+      for (int r = 0; r < size_; ++r) {
+        unpack(std::span(all).subspan(static_cast<std::size_t>(r) * n * 8, n * 8),
+               piece);
+        for (std::size_t i = 0; i < n; ++i) sum[i] += piece[i];
+      }
+      reduced = pack(sum);
+    }
+    Status b = co_await Broadcast(0, reduced);
+    if (!b.ok()) co_return b;
+    unpack(reduced, values);
+    ++operations_;
+    co_return OkStatus();
+  }
+
+  // Ring: N-1 reduce-scatter steps, N-1 all-gather steps; send to the
+  // left neighbour, receive from the right.
+  const std::size_t chunk = n / static_cast<std::size_t>(size_);
+  const int left = (rank_ + size_ - 1) % size_;
+  const int right = (rank_ + 1) % size_;
+  std::vector<std::int64_t> incoming;
+
+  for (int step = 0; step < size_ - 1; ++step) {
+    const std::size_t send_idx =
+        static_cast<std::size_t>((rank_ + step) % size_) * chunk;
+    const std::size_t recv_idx =
+        static_cast<std::size_t>((rank_ + step + 1) % size_) * chunk;
+    Status s = co_await SendTo(
+        left, pack(std::span(values).subspan(send_idx, chunk)));
+    if (!s.ok()) co_return s;
+    auto r = co_await RecvFrom(right);
+    if (!r.ok()) co_return r.status();
+    unpack(r.value(), incoming);
+    for (std::size_t i = 0; i < chunk; ++i) values[recv_idx + i] += incoming[i];
+  }
+  for (int step = 0; step < size_ - 1; ++step) {
+    const std::size_t send_idx =
+        static_cast<std::size_t>((rank_ + size_ - 1 + step) % size_) * chunk;
+    const std::size_t recv_idx =
+        static_cast<std::size_t>((rank_ + step) % size_) * chunk;
+    Status s = co_await SendTo(
+        left, pack(std::span(values).subspan(send_idx, chunk)));
+    if (!s.ok()) co_return s;
+    auto r = co_await RecvFrom(right);
+    if (!r.ok()) co_return r.status();
+    unpack(r.value(), incoming);
+    for (std::size_t i = 0; i < chunk; ++i) values[recv_idx + i] = incoming[i];
+  }
+  ++operations_;
+  co_return OkStatus();
+}
+
+}  // namespace vmmc::coll

@@ -1,0 +1,237 @@
+#include "vmmc/compat/pm.h"
+
+#include <cassert>
+
+namespace vmmc::compat {
+
+using vmmc_core::ChunkHeader;
+using vmmc_core::DecodeChunk;
+using vmmc_core::EncodeChunk;
+using vmmc_core::PacketType;
+
+namespace {
+// Control encoding in the header tag: kind in the top byte, sequence
+// number below.
+constexpr std::uint32_t kKindData = 0;
+constexpr std::uint32_t kKindAck = 1;
+constexpr std::uint32_t kKindNack = 2;
+
+std::uint32_t MakeTag(std::uint32_t kind, std::uint32_t seq) {
+  return (kind << 24) | (seq & 0x00FF'FFFF);
+}
+std::uint32_t TagKind(std::uint32_t tag) { return tag >> 24; }
+std::uint32_t TagSeq(std::uint32_t tag) { return tag & 0x00FF'FFFF; }
+}  // namespace
+
+PmEndpoint::PmEndpoint(Testbed& testbed, int node)
+    : testbed_(testbed), node_(node) {
+  auto lcp = std::make_unique<PmLcp>(testbed.params());
+  lcp_ = lcp.get();
+  testbed.nic(node).LoadLcp(std::move(lcp));
+}
+
+std::uint64_t PmEndpoint::retransmits() const { return lcp_->retransmits(); }
+
+sim::Task<Status> PmEndpoint::Send(int dst_node, std::vector<std::uint8_t> data,
+                                   bool include_copy) {
+  sim::Simulator& sim = testbed_.simulator();
+  co_await sim.Delay(700);  // library entry (exclusive interface: no scan)
+
+  // "the user first allocates special send buffer space, then copies data
+  // into the buffer" (§7). PM's peak bandwidth excludes this copy.
+  if (include_copy) {
+    co_await testbed_.machine(node_).cpu().Bcopy(data.size());
+  }
+
+  const std::uint32_t total = static_cast<std::uint32_t>(data.size());
+  std::uint32_t offset = 0;
+  std::uint32_t seq = next_tx_seq_;
+  do {
+    const std::uint32_t n = std::min(kUnitBytes, total - offset);
+    // Window flow control: wait for an ACK credit.
+    co_await lcp_->credits()->Acquire();
+    PmLcp::Unit unit;
+    unit.dst_node = dst_node;
+    unit.seq = seq++;
+    unit.msg_len = total;
+    unit.last = offset + n == total;
+    unit.data.assign(data.begin() + offset, data.begin() + offset + n);
+    co_await testbed_.machine(node_).pci().PioWrite(4);  // post descriptor
+    lcp_->PostUnit(std::move(unit));
+    offset += n;
+  } while (offset < total);
+  next_tx_seq_ = seq;
+  co_return OkStatus();
+}
+
+sim::Task<std::vector<std::uint8_t>> PmEndpoint::Poll() {
+  co_await testbed_.simulator().Delay(400);  // poll call
+  auto& q = lcp_->delivered();
+  if (q.empty()) co_return std::vector<std::uint8_t>{};
+  std::vector<std::uint8_t> msg = std::move(q.front());
+  q.pop_front();
+  co_return msg;
+}
+
+void PmLcp::PostUnit(Unit unit) {
+  tx_queue_.push_back(std::move(unit));
+  if (nic_ != nullptr) nic_->NotifyWork();
+}
+
+sim::Process PmLcp::SendUnit(lanai::NicCard& nic, Unit unit) {
+  // Small units take a PIO-style fast path (PM favours latency for short
+  // messages); larger units are one DMA burst each — the send buffer is
+  // pinned and physically contiguous, so units beyond a page are legal
+  // (§7), PM's bandwidth edge over page-limited layers.
+  if (unit.data.size() <= 128) {
+    co_await nic.cpu().Exec(1000);
+  } else {
+    co_await nic.cpu().Exec(params_.pci.dma_loop_sw);
+    co_await nic.machine().pci().Dma(unit.data.size());
+  }
+  std::vector<std::uint8_t> staged = unit.data;
+
+  ChunkHeader h;
+  h.type = PacketType::kData;
+  h.flags = unit.last ? ChunkHeader::kFlagLastChunk : 0;
+  h.src_node = static_cast<std::uint16_t>(nic.nic_id());
+  h.msg_len = unit.msg_len;
+  h.chunk_len = static_cast<std::uint32_t>(unit.data.size());
+  h.tag = MakeTag(kKindData, unit.seq);
+  myrinet::Packet pkt;
+  pkt.route = nic.fabric().ComputeRoute(nic.nic_id(), unit.dst_node).value();
+  pkt.payload = EncodeChunk(h, staged);
+  unacked_.push_back(std::move(unit));
+  // Pipelined: the network DMA of this unit overlaps the host DMA of the
+  // next one ("peak pipelined bandwidth", §7).
+  tx_pump_->Put(std::move(pkt));
+  co_return;
+}
+
+sim::Process PmLcp::TxPump(lanai::NicCard& nic) {
+  for (;;) {
+    myrinet::Packet pkt = co_await tx_pump_->Get();
+    co_await nic.NetSend(std::move(pkt));
+  }
+}
+
+sim::Process PmLcp::Run(lanai::NicCard& nic) {
+  nic_ = &nic;
+  credits_ = std::make_unique<sim::Semaphore>(nic.simulator(),
+                                              PmEndpoint::kWindow);
+  tx_pump_ = std::make_unique<sim::Mailbox<myrinet::Packet>>(nic.simulator());
+  nic.simulator().Spawn(TxPump(nic));
+  const LanaiParams& lp = params_.lanai;
+
+  // Retransmit watchdog: unACKed units are resent after a timeout (the
+  // "modified ACK/NACK flow control", §7).
+  struct Watchdog {
+    static sim::Process Run(PmLcp& lcp, lanai::NicCard& nic) {
+      // Retransmit only when the window head makes no progress across two
+      // ticks — a genuinely lost unit, not one still in flight.
+      std::uint32_t last_head = UINT32_MAX;
+      for (;;) {
+        co_await nic.simulator().Delay(sim::Milliseconds(2));
+        if (lcp.unacked_.empty()) {
+          last_head = UINT32_MAX;
+          continue;
+        }
+        const std::uint32_t head = lcp.unacked_.front().seq;
+        if (head == last_head) {
+          ++lcp.retransmits_;
+          Unit again = lcp.unacked_.front();
+          co_await lcp.SendUnit(nic, std::move(again));
+          last_head = UINT32_MAX;
+        } else {
+          last_head = head;
+        }
+      }
+    }
+  };
+  nic.simulator().Spawn(Watchdog::Run(*this, nic));
+
+  for (;;) {
+    co_await nic.AwaitWork();
+    while (nic.work_pending()) co_await nic.AwaitWork();
+    co_await nic.cpu().Exec(lp.main_loop_poll);
+    for (;;) {
+      if (auto rp = nic.rx_queue().TryGet()) {
+        co_await nic.cpu().Exec(lp.recv_process);
+        if (!rp->crc_ok) continue;  // lost unit; sender's watchdog recovers
+        auto decoded = DecodeChunk(rp->packet.payload);
+        if (!decoded.has_value()) continue;
+        const ChunkHeader& h = decoded->header;
+        const std::uint32_t kind = TagKind(h.tag);
+        const std::uint32_t seq = TagSeq(h.tag);
+
+        if (kind == kKindAck) {
+          if (!unacked_.empty() && unacked_.front().seq == seq) {
+            unacked_.pop_front();
+          }
+          credits_->Release();
+          continue;
+        }
+        if (kind == kKindNack) {
+          // Retransmit everything from the NACKed sequence.
+          for (auto& u : unacked_) {
+            if (u.seq == seq) {
+              ++retransmits_;
+              Unit again = u;
+              co_await SendUnit(nic, std::move(again));
+              break;
+            }
+          }
+          continue;
+        }
+
+        // Data unit.
+        if (seq != next_rx_seq_) {
+          // Out of order: NACK the expected unit, drop this one.
+          ChunkHeader nack;
+          nack.type = PacketType::kData;
+          nack.src_node = static_cast<std::uint16_t>(nic.nic_id());
+          nack.tag = MakeTag(kKindNack, next_rx_seq_);
+          myrinet::Packet pkt;
+          pkt.route =
+              nic.fabric().ComputeRoute(nic.nic_id(), h.src_node).value();
+          pkt.payload = EncodeChunk(nack, {});
+          co_await nic.NetSend(std::move(pkt));
+          continue;
+        }
+        ++next_rx_seq_;
+        // Deposit into the receiver-provided pinned buffer.
+        if (h.chunk_len <= 128) {
+          co_await nic.cpu().Exec(600);
+        } else {
+          co_await nic.machine().pci().Dma(h.chunk_len);
+        }
+        assembling_.insert(assembling_.end(), decoded->data.begin(),
+                           decoded->data.end());
+        if (h.last_chunk()) {
+          delivered_.push_back(std::move(assembling_));
+          assembling_.clear();
+        }
+        // ACK the unit.
+        ChunkHeader ack;
+        ack.type = PacketType::kData;
+        ack.src_node = static_cast<std::uint16_t>(nic.nic_id());
+        ack.tag = MakeTag(kKindAck, seq);
+        myrinet::Packet pkt;
+        pkt.route = nic.fabric().ComputeRoute(nic.nic_id(), h.src_node).value();
+        pkt.payload = EncodeChunk(ack, {});
+        co_await nic.NetSend(std::move(pkt));
+        continue;
+      }
+      if (!tx_queue_.empty()) {
+        Unit unit = std::move(tx_queue_.front());
+        tx_queue_.pop_front();
+        co_await nic.cpu().Exec(900);  // exclusive access: direct pickup
+        co_await SendUnit(nic, std::move(unit));
+        continue;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace vmmc::compat

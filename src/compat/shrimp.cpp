@@ -1,0 +1,320 @@
+#include "vmmc/compat/shrimp.h"
+
+#include <cassert>
+
+namespace vmmc::compat {
+
+using vmmc_core::ChunkHeader;
+using vmmc_core::DecodeChunk;
+using vmmc_core::EncodeChunk;
+using vmmc_core::IncomingEntry;
+using vmmc_core::PacketType;
+using vmmc_core::ProxyAddr;
+
+ShrimpSystem::ShrimpSystem(sim::Simulator& sim, const Params& params,
+                           int num_nodes)
+    : sim_(sim), params_(params) {
+  fabric_ = std::make_unique<myrinet::Fabric>(sim_, params_.net);
+  myrinet::TopologyPlan plan = myrinet::BuildSingleSwitch(*fabric_, 8);
+  assert(num_nodes <= 8);
+  for (int i = 0; i < num_nodes; ++i) {
+    machines_.push_back(std::make_unique<host::Machine>(sim_, params_, i));
+    nics_.push_back(std::make_unique<ShrimpNic>(sim_, params_, *machines_.back(),
+                                                *this, i));
+    int id = fabric_->AddNic(nics_.back().get());
+    Status s = fabric_->ConnectNic(id, plan.nic_slots[static_cast<std::size_t>(i)].switch_id,
+                                   plan.nic_slots[static_cast<std::size_t>(i)].port);
+    assert(s.ok() && id == i);
+    (void)s;
+  }
+}
+
+ShrimpSystem::~ShrimpSystem() = default;
+
+myrinet::Route ShrimpSystem::RouteTo(int src, int dst) const {
+  return fabric_->ComputeRoute(src, dst).value();
+}
+
+Status ShrimpSystem::Inject(int src_node, myrinet::Packet packet) {
+  return fabric_->Inject(src_node, std::move(packet));
+}
+
+ShrimpNic::ShrimpNic(sim::Simulator& sim, const Params& params,
+                     host::Machine& machine, ShrimpSystem& system, int node_id)
+    : sim_(sim),
+      params_(params),
+      machine_(machine),
+      system_(system),
+      node_id_(node_id),
+      incoming_(machine.memory().num_frames()),
+      outgoing_(params.vmmc.outgoing_pt_pages),
+      engine_(sim, 1),
+      eisa_bus_(sim, 1) {}
+
+sim::Process ShrimpNic::DeliberateUpdate(std::vector<mem::PhysAddr> src_pages,
+                                         std::uint32_t len, ProxyAddr proxy) {
+  // The state machine handles one (non-atomic) request at a time; it is
+  // invalidated on context switch, modelled by exclusive ownership.
+  auto engine = co_await sim::ScopedAcquire(engine_);
+  ++stats_.sends;
+
+  std::uint32_t offset = 0;
+  for (std::size_t page = 0; page < src_pages.size(); ++page) {
+    const std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        len - offset, mem::kPageSize - mem::PageOffset(src_pages[page])));
+    // "about 2-3 microseconds to verify permissions, access the outgoing
+    // page table, build a packet and start sending data" (§6).
+    co_await sim_.Delay(params_.shrimp.hw_engine_process);
+    const ProxyAddr dst = proxy + offset;
+    auto t0 = outgoing_.Lookup(static_cast<std::uint32_t>(vmmc_core::ProxyPage(dst)));
+    if (!t0.ok()) {
+      ++stats_.protection_violations;
+      co_return;
+    }
+    std::uint64_t pa1 = 0;
+    if (chunk > 0 && mem::PageNumber(dst + chunk - 1) != vmmc_core::ProxyPage(dst)) {
+      auto t1 = outgoing_.Lookup(
+          static_cast<std::uint32_t>(vmmc_core::ProxyPage(dst) + 1));
+      if (!t1.ok()) {
+        ++stats_.protection_violations;
+        co_return;
+      }
+      pa1 = mem::PageAddr(t1.value().pfn);
+    }
+
+    // EISA DMA out of host memory: the 23 MB/s hardware limit (§6).
+    {
+      auto bus = co_await sim::ScopedAcquire(eisa_bus_);
+      co_await sim_.Delay(params_.shrimp.eisa_dma_init +
+                          sim::NsForBytes(chunk, params_.shrimp.eisa_dma_mb_s));
+    }
+
+    std::vector<std::uint8_t> data(chunk);
+    Status read = machine_.memory().Read(src_pages[page], data);
+    assert(read.ok());
+    (void)read;
+
+    ChunkHeader h;
+    h.type = PacketType::kData;
+    h.flags = (offset + chunk == len) ? ChunkHeader::kFlagLastChunk : 0;
+    h.src_node = static_cast<std::uint16_t>(node_id_);
+    h.msg_len = len;
+    h.chunk_len = chunk;
+    h.dst_pa0 = mem::PageAddr(t0.value().pfn) + vmmc_core::ProxyOffset(dst);
+    h.dst_pa1 = pa1;
+
+    myrinet::Packet pkt;
+    pkt.route = system_.RouteTo(node_id_, static_cast<int>(t0.value().node));
+    pkt.payload = EncodeChunk(h, data);
+    co_await sim_.Delay(300);  // link-interface start
+    Status injected = system_.Inject(node_id_, std::move(pkt));
+    assert(injected.ok());
+    (void)injected;
+
+    ++stats_.pages_sent;
+    offset += chunk;
+  }
+}
+
+sim::Process ShrimpNic::AutomaticUpdate(std::vector<std::uint8_t> data,
+                                        ProxyAddr proxy) {
+  // The snoop FIFO packetizes combined writes; one packet per destination
+  // page here. No EISA fetch: the data came off the memory bus.
+  std::uint32_t offset = 0;
+  while (offset < data.size()) {
+    const std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        data.size() - offset, mem::kPageSize - mem::PageOffset(proxy + offset)));
+    co_await sim_.Delay(params_.shrimp.snoop_pack);
+    const ProxyAddr dst = proxy + offset;
+    auto t0 = outgoing_.Lookup(static_cast<std::uint32_t>(vmmc_core::ProxyPage(dst)));
+    if (!t0.ok()) {
+      ++stats_.protection_violations;
+      co_return;
+    }
+    ChunkHeader h;
+    h.type = PacketType::kData;
+    h.flags = (offset + chunk == static_cast<std::uint32_t>(data.size()))
+                  ? ChunkHeader::kFlagLastChunk
+                  : 0;
+    h.src_node = static_cast<std::uint16_t>(node_id_);
+    h.msg_len = static_cast<std::uint32_t>(data.size());
+    h.chunk_len = chunk;
+    h.dst_pa0 = mem::PageAddr(t0.value().pfn) + vmmc_core::ProxyOffset(dst);
+    h.dst_pa1 = 0;
+    myrinet::Packet pkt;
+    pkt.route = system_.RouteTo(node_id_, static_cast<int>(t0.value().node));
+    pkt.payload = EncodeChunk(
+        h, std::span(data).subspan(offset, chunk));
+    Status injected = system_.Inject(node_id_, std::move(pkt));
+    assert(injected.ok());
+    (void)injected;
+    ++stats_.pages_sent;
+    offset += chunk;
+  }
+}
+
+void ShrimpNic::OnPacket(myrinet::Packet packet, sim::Tick tail_time) {
+  const sim::Tick wait = tail_time - sim_.now();
+  sim_.In(wait > 0 ? wait : 0, [this, pkt = std::move(packet)]() mutable {
+    sim_.Spawn(Receive(std::move(pkt)));
+  });
+}
+
+sim::Process ShrimpNic::Receive(myrinet::Packet packet) {
+  co_await sim_.Delay(params_.shrimp.hw_recv_process);
+  if (!packet.CrcOk()) co_return;
+  auto decoded = DecodeChunk(packet.payload);
+  if (!decoded.has_value()) co_return;
+  const ChunkHeader& h = decoded->header;
+
+  const IncomingEntry* e0 = incoming_.Find(mem::PageNumber(h.dst_pa0));
+  if (e0 == nullptr || !e0->recv_enabled) {
+    ++stats_.protection_violations;
+    co_return;
+  }
+  const std::uint32_t seg0 = h.ScatterLen0();
+  {
+    auto bus = co_await sim::ScopedAcquire(eisa_bus_);
+    co_await sim_.Delay(params_.shrimp.eisa_dma_init +
+                        sim::NsForBytes(h.chunk_len, params_.shrimp.eisa_dma_mb_s));
+  }
+  Status w = machine_.memory().Write(h.dst_pa0, decoded->data.subspan(0, seg0));
+  assert(w.ok());
+  if (h.dst_pa1 != 0 && seg0 < h.chunk_len) {
+    const IncomingEntry* e1 = incoming_.Find(mem::PageNumber(h.dst_pa1));
+    if (e1 == nullptr || !e1->recv_enabled) {
+      ++stats_.protection_violations;
+      co_return;
+    }
+    w = machine_.memory().Write(h.dst_pa1, decoded->data.subspan(seg0));
+    assert(w.ok());
+  }
+  stats_.bytes_received += h.chunk_len;
+}
+
+ShrimpEndpoint::ShrimpEndpoint(ShrimpSystem& system, int node,
+                               const std::string& name)
+    : system_(system),
+      node_(node),
+      process_(&system.machine(node).kernel().CreateProcess(name)) {}
+
+Result<mem::VirtAddr> ShrimpEndpoint::AllocBuffer(std::uint32_t len) {
+  return process_->address_space().HeapAlloc(mem::RoundUpToPage(len),
+                                             mem::kPageSize);
+}
+
+Result<std::uint32_t> ShrimpEndpoint::ExportBuffer(mem::VirtAddr va,
+                                                   std::uint32_t len,
+                                                   const std::string& name) {
+  auto& registry = system_.export_registry();
+  if (registry.contains(name)) return AlreadyExists("name in use");
+  Status pin = process_->address_space().Pin(va, len);
+  if (!pin.ok()) return pin;
+  ShrimpSystem::BufferExport rec;
+  rec.node = node_;
+  rec.len = len;
+  const std::uint64_t pages = mem::PagesSpanned(va, len);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    auto pa = process_->address_space().Translate(va + i * mem::kPageSize);
+    if (!pa.ok()) return pa.status();
+    const mem::Pfn pfn = mem::PageNumber(pa.value());
+    Status s = system_.nic(node_).incoming().Enable(pfn, false, process_->pid(), 0);
+    if (!s.ok()) return s;
+    rec.frames.push_back(pfn);
+  }
+  registry.emplace(name, std::move(rec));
+  return static_cast<std::uint32_t>(registry.size());
+}
+
+Result<vmmc_core::ProxyAddr> ShrimpEndpoint::ImportBuffer(int remote_node,
+                                                          const std::string& name) {
+  auto& registry = system_.export_registry();
+  auto it = registry.find(name);
+  if (it == registry.end()) return NotFound("no such export");
+  if (it->second.node != remote_node) return NotFound("export on another node");
+  auto& outgoing = system_.nic(node_).outgoing();
+  auto base = outgoing.AllocateRun(static_cast<std::uint32_t>(it->second.frames.size()));
+  if (!base.ok()) return base.status();
+  for (std::uint32_t i = 0; i < it->second.frames.size(); ++i) {
+    Status s = outgoing.Set(base.value() + i, static_cast<std::uint32_t>(remote_node),
+                            it->second.frames[i]);
+    if (!s.ok()) return s;
+  }
+  return vmmc_core::MakeProxyAddr(base.value(), 0);
+}
+
+sim::Task<Status> ShrimpEndpoint::SendMsg(mem::VirtAddr src,
+                                          vmmc_core::ProxyAddr dst,
+                                          std::uint32_t len) {
+  sim::Simulator& sim = system_.simulator();
+  const Params& p = system_.params();
+  if (len == 0) co_return InvalidArgument("empty send");
+
+  // Thin library wrapper: the heavy lifting is hardware (§6).
+  co_await sim.Delay(500);
+
+  // The OS pins send pages on first use (proxy mappings are maintained by
+  // the OS; this is part of SHRIMP's larger OS footprint, §6).
+  mem::AddressSpace& as = process_->address_space();
+  if (!as.TranslatePinned(src).ok()) {
+    Status pin = as.Pin(src, len);
+    if (!pin.ok()) co_return pin;
+    co_await sim.Delay(sim::Microseconds(20));  // one-time pin syscall
+  }
+
+  // Gather physical source pages; "in SHRIMP we need to issue two memory-
+  // mapped instructions for each page" (§6).
+  std::vector<mem::PhysAddr> pages;
+  std::uint32_t offset = 0;
+  while (offset < len) {
+    auto pa = as.Translate(src + offset);
+    if (!pa.ok()) co_return pa.status();
+    pages.push_back(pa.value());
+    const std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        len - offset, mem::kPageSize - mem::PageOffset(src + offset)));
+    co_await sim.Delay(2 * p.shrimp.pio_write);
+    offset += chunk;
+  }
+
+  co_await system_.nic(node_).DeliberateUpdate(std::move(pages), len, dst);
+  co_return OkStatus();
+}
+
+Status ShrimpEndpoint::MapAutomaticUpdate(mem::VirtAddr va, std::uint32_t len,
+                                          vmmc_core::ProxyAddr proxy) {
+  if (len == 0) return InvalidArgument("empty auto-update mapping");
+  if (!process_->address_space().Translate(va).ok()) {
+    return NotFound("mapping source not in address space");
+  }
+  // The destination must already be imported (the outgoing table validates
+  // it again on every snooped write).
+  auto t = system_.nic(node_).outgoing().Lookup(
+      static_cast<std::uint32_t>(vmmc_core::ProxyPage(proxy)));
+  if (!t.ok()) return t.status();
+  auto_bindings_.push_back(AutoBinding{va, len, proxy});
+  return OkStatus();
+}
+
+sim::Task<Status> ShrimpEndpoint::AutoWrite(mem::VirtAddr va,
+                                            std::span<const std::uint8_t> data) {
+  // The ordinary store: write-through to local memory.
+  const Params& p = system_.params();
+  co_await system_.simulator().Delay(
+      static_cast<sim::Tick>((data.size() + 3) / 4) * p.shrimp.store_per_word);
+  Status w = process_->address_space().Write(va, data);
+  if (!w.ok()) co_return w;
+
+  // The snooping card watches the memory bus: if the range is mapped, the
+  // write is propagated with no further involvement of the CPU.
+  for (const AutoBinding& b : auto_bindings_) {
+    if (va >= b.base && va + data.size() <= b.base + b.len) {
+      const vmmc_core::ProxyAddr dst = b.proxy + (va - b.base);
+      system_.simulator().Spawn(system_.nic(node_).AutomaticUpdate(
+          std::vector<std::uint8_t>(data.begin(), data.end()), dst));
+      break;
+    }
+  }
+  co_return OkStatus();
+}
+
+}  // namespace vmmc::compat

@@ -1,0 +1,7 @@
+// The host layer is header-only (thin coroutine wrappers over the sim
+// core); this translation unit pins the vtable-free headers into the
+// library and verifies they compile standalone.
+#include "vmmc/host/host_cpu.h"
+#include "vmmc/host/kernel.h"
+#include "vmmc/host/machine.h"
+#include "vmmc/host/pci_bus.h"

@@ -1,0 +1,53 @@
+#include "vmmc/lanai/sram.h"
+
+namespace vmmc::lanai {
+
+Result<std::uint32_t> Sram::Allocate(const std::string& name, std::uint32_t bytes) {
+  if (bytes == 0) return InvalidArgument("zero-size SRAM allocation");
+  // Keep regions 8-byte aligned like the real LCP's data structures.
+  bytes = (bytes + 7u) & ~7u;
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < bytes) continue;
+    const std::uint32_t offset = it->first;
+    const std::uint32_t remaining = it->second - bytes;
+    free_.erase(it);
+    if (remaining > 0) free_.emplace(offset + bytes, remaining);
+    regions_.emplace(offset, Region{name, bytes});
+    used_ += bytes;
+    return offset;
+  }
+  return ResourceExhausted("LANai SRAM exhausted allocating '" + name + "'");
+}
+
+Status Sram::Free(std::uint32_t offset) {
+  auto it = regions_.find(offset);
+  if (it == regions_.end()) return InvalidArgument("free of unknown SRAM region");
+  std::uint32_t addr = offset;
+  std::uint32_t len = it->second.bytes;
+  used_ -= len;
+  regions_.erase(it);
+
+  // Coalesce with free neighbours.
+  auto next = free_.lower_bound(addr);
+  if (next != free_.end() && addr + len == next->first) {
+    len += next->second;
+    next = free_.erase(next);
+  }
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == addr) {
+      addr = prev->first;
+      len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  free_.emplace(addr, len);
+  return OkStatus();
+}
+
+std::string Sram::RegionName(std::uint32_t offset) const {
+  auto it = regions_.find(offset);
+  return it == regions_.end() ? std::string() : it->second.name;
+}
+
+}  // namespace vmmc::lanai

@@ -1,0 +1,34 @@
+#include "vmmc/myrinet/crc8.h"
+
+#include <array>
+
+namespace vmmc::myrinet {
+
+namespace {
+constexpr std::uint8_t kPoly = 0x07;
+
+constexpr std::array<std::uint8_t, 256> MakeTable() {
+  std::array<std::uint8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint8_t crc = static_cast<std::uint8_t>(i);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint8_t>((crc & 0x80) ? (crc << 1) ^ kPoly : crc << 1);
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint8_t, 256> kTable = MakeTable();
+}  // namespace
+
+std::uint8_t Crc8Update(std::uint8_t crc, std::span<const std::uint8_t> data) {
+  for (std::uint8_t byte : data) crc = kTable[crc ^ byte];
+  return crc;
+}
+
+std::uint8_t Crc8(std::span<const std::uint8_t> data) {
+  return Crc8Update(0, data);
+}
+
+}  // namespace vmmc::myrinet

@@ -1,0 +1,212 @@
+#include "vmmc/myrinet/fabric.h"
+
+#include <cassert>
+#include <deque>
+
+#include "vmmc/util/log.h"
+
+namespace vmmc::myrinet {
+
+void Link::Send(Packet packet) {
+  assert(dst_ != nullptr && "link not wired");
+  ++packets_;
+  bytes_ += packet.wire_bytes();
+
+  // Error injection: flip one payload byte; the receiver's CRC hardware
+  // detects it (the paper checks CRCs but never recovers, §4.2).
+  if (params_.packet_error_rate > 0.0 && !packet.payload.empty() &&
+      rng_.Bernoulli(params_.packet_error_rate)) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng_.UniformU64(packet.payload.size()));
+    packet.payload[i] ^= 0x01u << rng_.UniformU64(8);
+  }
+
+  const sim::Tick start = std::max(sim_.now(), busy_until_);
+  const sim::Tick ser = sim::NsForBytes(packet.wire_bytes(), params_.link_mb_s);
+  busy_until_ = start + ser;
+  const sim::Tick head = start + params_.link_latency;
+  const sim::Tick tail = start + ser + params_.link_latency;
+
+  sim_.At(head, [dst = dst_, pkt = std::move(packet), tail]() mutable {
+    dst->OnPacket(std::move(pkt), tail);
+  });
+}
+
+void Switch::OnPacket(Packet packet, sim::Tick tail_time) {
+  if (packet.route.empty()) {
+    ++dropped_;
+    VMMC_LOG(kWarn, "switch") << "switch " << id_ << ": packet with empty route dropped";
+    return;
+  }
+  const int port = packet.route.front();
+  packet.route.erase(packet.route.begin());
+  if (port >= num_ports() || out_links_[static_cast<std::size_t>(port)] == nullptr) {
+    ++dropped_;
+    VMMC_LOG(kWarn, "switch") << "switch " << id_ << ": invalid output port "
+                              << port << ", packet dropped";
+    return;
+  }
+  ++forwarded_;
+  // Cut-through: forward the head after the switch latency. The downstream
+  // link recomputes serialization; `tail_time` of this hop is implicit.
+  (void)tail_time;
+  Link* out = out_links_[static_cast<std::size_t>(port)];
+  sim_.In(params_.switch_latency,
+          [out, pkt = std::move(packet)]() mutable { out->Send(std::move(pkt)); });
+}
+
+Link* Fabric::NewLink() {
+  links_.push_back(std::make_unique<Link>(sim_, params_, rng_));
+  return links_.back().get();
+}
+
+int Fabric::AddSwitch(int num_ports) {
+  const int id = num_switches();
+  switches_.push_back(std::make_unique<Switch>(sim_, params_, id, num_ports));
+  return id;
+}
+
+int Fabric::AddNic(Endpoint* nic) {
+  NicAttachment att;
+  att.endpoint = nic;
+  nics_.push_back(att);
+  return num_nics() - 1;
+}
+
+Status Fabric::ConnectNic(int nic_id, int switch_id, int port) {
+  if (nic_id < 0 || nic_id >= num_nics()) return InvalidArgument("bad nic id");
+  if (switch_id < 0 || switch_id >= num_switches()) {
+    return InvalidArgument("bad switch id");
+  }
+  NicAttachment& att = nics_[static_cast<std::size_t>(nic_id)];
+  if (att.to_switch != nullptr) return AlreadyExists("nic already connected");
+  Switch& sw = *switches_[static_cast<std::size_t>(switch_id)];
+  if (port < 0 || port >= sw.num_ports()) return InvalidArgument("bad port");
+  if (sw.output(port) != nullptr) return AlreadyExists("switch port in use");
+
+  att.to_switch = NewLink();
+  att.to_switch->set_destination(&sw);
+  att.from_switch = NewLink();
+  att.from_switch->set_destination(att.endpoint);
+  sw.AttachOutput(port, att.from_switch);
+  att.switch_id = switch_id;
+  att.switch_port = port;
+  return OkStatus();
+}
+
+Status Fabric::ConnectSwitches(int a, int pa, int b, int pb) {
+  if (a < 0 || a >= num_switches() || b < 0 || b >= num_switches()) {
+    return InvalidArgument("bad switch id");
+  }
+  Switch& sa = *switches_[static_cast<std::size_t>(a)];
+  Switch& sb = *switches_[static_cast<std::size_t>(b)];
+  if (pa < 0 || pa >= sa.num_ports() || pb < 0 || pb >= sb.num_ports()) {
+    return InvalidArgument("bad port");
+  }
+  if (sa.output(pa) != nullptr || sb.output(pb) != nullptr) {
+    return AlreadyExists("switch port in use");
+  }
+  Link* ab = NewLink();
+  ab->set_destination(&sb);
+  sa.AttachOutput(pa, ab);
+  Link* ba = NewLink();
+  ba->set_destination(&sa);
+  sb.AttachOutput(pb, ba);
+  return OkStatus();
+}
+
+Status Fabric::Inject(int nic_id, Packet packet) {
+  if (nic_id < 0 || nic_id >= num_nics()) return InvalidArgument("bad nic id");
+  NicAttachment& att = nics_[static_cast<std::size_t>(nic_id)];
+  if (att.to_switch == nullptr) return FailedPrecondition("nic not connected");
+  packet.src_nic = nic_id;
+  packet.StampCrc();
+  att.to_switch->Send(std::move(packet));
+  return OkStatus();
+}
+
+Result<Route> Fabric::ComputeRoute(int src_nic, int dst_nic) const {
+  if (src_nic < 0 || src_nic >= num_nics() || dst_nic < 0 || dst_nic >= num_nics()) {
+    return InvalidArgument("bad nic id");
+  }
+  const NicAttachment& src = nics_[static_cast<std::size_t>(src_nic)];
+  const NicAttachment& dst = nics_[static_cast<std::size_t>(dst_nic)];
+  if (src.switch_id < 0 || dst.switch_id < 0) {
+    return FailedPrecondition("nic not connected");
+  }
+  if (src_nic == dst_nic) {
+    // Self route: out to the switch and straight back.
+    return Route{static_cast<std::uint8_t>(src.switch_port)};
+  }
+
+  // BFS over switches from the source's switch to the destination's switch,
+  // recording (switch, entry route). The route is the port byte consumed at
+  // each traversed switch; the final byte exits to the destination NIC.
+  struct State {
+    int switch_id;
+    Route route;
+  };
+  std::deque<State> frontier;
+  std::vector<bool> visited(static_cast<std::size_t>(num_switches()), false);
+  frontier.push_back({src.switch_id, {}});
+  visited[static_cast<std::size_t>(src.switch_id)] = true;
+
+  while (!frontier.empty()) {
+    State cur = std::move(frontier.front());
+    frontier.pop_front();
+    const Switch& sw = *switches_[static_cast<std::size_t>(cur.switch_id)];
+
+    if (cur.switch_id == dst.switch_id) {
+      Route full = cur.route;
+      full.push_back(static_cast<std::uint8_t>(dst.switch_port));
+      return full;
+    }
+
+    for (int port = 0; port < sw.num_ports(); ++port) {
+      const Link* out = sw.output(port);
+      if (out == nullptr) continue;
+      // Is the far end another switch?
+      for (int s2 = 0; s2 < num_switches(); ++s2) {
+        if (out->destination() == switches_[static_cast<std::size_t>(s2)].get() &&
+            !visited[static_cast<std::size_t>(s2)]) {
+          visited[static_cast<std::size_t>(s2)] = true;
+          Route r = cur.route;
+          r.push_back(static_cast<std::uint8_t>(port));
+          frontier.push_back({s2, std::move(r)});
+        }
+      }
+    }
+  }
+  return NotFound("no route between nics");
+}
+
+std::uint64_t Fabric::total_link_packets() const {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l->packets_sent();
+  return n;
+}
+
+TopologyPlan BuildSingleSwitch(Fabric& fabric, int max_nics) {
+  TopologyPlan plan;
+  const int sw = fabric.AddSwitch(max_nics);
+  for (int i = 0; i < max_nics; ++i) plan.nic_slots.push_back({sw, i});
+  return plan;
+}
+
+TopologyPlan BuildSwitchChain(Fabric& fabric, int num_switches, int per_switch) {
+  assert(per_switch + 2 <= 8);
+  TopologyPlan plan;
+  for (int s = 0; s < num_switches; ++s) fabric.AddSwitch(8);
+  // Ports: 0..per_switch-1 for NICs, 6 to next switch, 7 to previous.
+  for (int s = 0; s + 1 < num_switches; ++s) {
+    Status st = fabric.ConnectSwitches(s, 6, s + 1, 7);
+    assert(st.ok());
+    (void)st;
+  }
+  for (int s = 0; s < num_switches; ++s) {
+    for (int i = 0; i < per_switch; ++i) plan.nic_slots.push_back({s, i});
+  }
+  return plan;
+}
+
+}  // namespace vmmc::myrinet

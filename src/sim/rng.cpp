@@ -1,0 +1,72 @@
+#include "vmmc/sim/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vmmc::sim {
+
+namespace {
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Avoid the all-zero state (cannot occur with splitmix, but be safe).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire-style rejection: draw until below the largest multiple of bound.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t draw = (span == 0) ? NextU64() : UniformU64(span);
+  return lo + static_cast<std::int64_t>(draw);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u = UniformDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace vmmc::sim

@@ -1,0 +1,51 @@
+#include "vmmc/sim/simulator.h"
+
+namespace vmmc::sim {
+
+void Simulator::At(Tick t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Simulator::Resume(std::coroutine_handle<> h, Tick delay) {
+  At(now_ + delay, [h] { h.resume(); });
+}
+
+void Simulator::Spawn(Process p) {
+  assert(p.valid());
+  if (p.finished()) return;  // completed synchronously (not possible today)
+  Process::Handle h = p.Detach();
+  At(now_, [h] {
+    if (!h.promise().started) {
+      h.promise().started = true;
+      h.resume();
+    }
+  });
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is copied out. std::function
+  // captures are small (handles, pointers), so this is cheap.
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::Run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+void Simulator::RunUntilTime(Tick t) {
+  assert(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) Step();
+  now_ = t;
+}
+
+}  // namespace vmmc::sim

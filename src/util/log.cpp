@@ -1,0 +1,53 @@
+#include "vmmc/util/log.h"
+
+#include <atomic>
+
+namespace vmmc {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel ParseLogLevel(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+void EmitLog(LogLevel level, std::string_view component, const std::string& msg) {
+  std::fprintf(stderr, "[%.*s] %.*s: %s\n", static_cast<int>(LevelName(level).size()),
+               LevelName(level).data(), static_cast<int>(component.size()),
+               component.data(), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace vmmc

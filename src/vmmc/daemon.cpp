@@ -1,0 +1,298 @@
+#include "vmmc/vmmc/daemon.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "vmmc/util/log.h"
+
+namespace vmmc::vmmc_core {
+
+namespace {
+
+constexpr std::uint8_t kImportReq = 1;
+constexpr std::uint8_t kImportResp = 2;
+constexpr std::uint16_t kReplyPort = 701;
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  bool ok() const { return ok_; }
+  std::uint8_t U8() { return Fits(1) ? buf_[pos_++] : Fail(); }
+  std::uint32_t U32() {
+    if (!Fits(4)) return Fail();
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | buf_[pos_ + static_cast<size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t U64() {
+    if (!Fits(8)) return static_cast<std::uint64_t>(Fail());
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | buf_[pos_ + static_cast<size_t>(i)];
+    pos_ += 8;
+    return v;
+  }
+  std::string Str(std::size_t n) {
+    if (!Fits(n)) {
+      Fail();
+      return {};
+    }
+    std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  bool Fits(std::size_t n) const { return ok_ && pos_ + n <= buf_.size(); }
+  std::uint8_t Fail() {
+    ok_ = false;
+    return 0;
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Status VmmcDaemon::Start(VmmcLcp* lcp) {
+  lcp_ = lcp;
+  auto server = eth_.Bind(kPort);
+  if (!server.ok()) return server.status();
+  server_box_ = server.value();
+  auto reply = eth_.Bind(kReplyPort);
+  if (!reply.ok()) return reply.status();
+  reply_box_ = reply.value();
+  reply_port_ = kReplyPort;
+  kernel_.simulator().Spawn(ServerLoop());
+  return OkStatus();
+}
+
+sim::Process VmmcDaemon::ServerLoop() {
+  // Two sources (requests from peers, replies to our own requests); a
+  // helper forwards replies so a single loop can serve both.
+  struct Forwarder {
+    static sim::Process Run(VmmcDaemon& d) {
+      for (;;) {
+        ethernet::Datagram dgram = co_await d.reply_box_->Get();
+        Reader r(dgram.payload);
+        const std::uint8_t type = r.U8();
+        const std::uint32_t tag = r.U32();
+        if (!r.ok() || type != kImportResp) continue;
+        auto it = d.pending_imports_.find(tag);
+        if (it == d.pending_imports_.end()) continue;
+        ImportReply& reply = it->second.reply;
+        const std::uint8_t code = r.U8();
+        reply.len = r.U32();
+        reply.notify = r.U8() != 0;
+        const std::uint32_t nframes = r.U32();
+        for (std::uint32_t i = 0; r.ok() && i < nframes; ++i) {
+          reply.frames.push_back(r.U64());
+        }
+        if (!r.ok()) {
+          reply.status = InternalError("malformed import reply");
+        } else if (code != 0) {
+          reply.status = Status(static_cast<ErrorCode>(code), "import refused");
+        }
+        it->second.done->Set();
+      }
+    }
+  };
+  kernel_.simulator().Spawn(Forwarder::Run(*this));
+
+  for (;;) {
+    ethernet::Datagram dgram = co_await server_box_->Get();
+    co_await HandleRequest(std::move(dgram));
+  }
+}
+
+VmmcDaemon::ImportReply VmmcDaemon::LookupForImport(const std::string& name,
+                                                    int importer_node,
+                                                    int importer_pid) {
+  ImportReply reply;
+  auto it = exports_.find(name);
+  if (it == exports_.end()) {
+    reply.status = NotFound("no export named '" + name + "'");
+    ++imports_rejected_;
+    return reply;
+  }
+  const ExportRecord& rec = it->second;
+  if (!rec.acl.Permits(importer_node, importer_pid)) {
+    reply.status = PermissionDenied("export ACL refuses this importer");
+    ++imports_rejected_;
+    return reply;
+  }
+  reply.len = rec.len;
+  reply.notify = rec.notify;
+  reply.frames = rec.frames;
+  ++imports_matched_;
+  return reply;
+}
+
+sim::Process VmmcDaemon::HandleRequest(ethernet::Datagram dgram) {
+  co_await kernel_.simulator().Delay(20'000);  // daemon wake-up + parsing
+  Reader r(dgram.payload);
+  const std::uint8_t type = r.U8();
+  const std::uint32_t tag = r.U32();
+  const int importer_pid = static_cast<std::int32_t>(r.U32());
+  const std::uint32_t name_len = r.U32();
+  const std::string name = r.Str(name_len);
+  if (!r.ok() || type != kImportReq) co_return;
+
+  ImportReply reply = LookupForImport(name, dgram.src_node, importer_pid);
+
+  std::vector<std::uint8_t> out;
+  out.push_back(kImportResp);
+  PutU32(out, tag);
+  out.push_back(static_cast<std::uint8_t>(reply.status.code()));
+  PutU32(out, reply.len);
+  out.push_back(reply.notify ? 1 : 0);
+  PutU32(out, static_cast<std::uint32_t>(reply.frames.size()));
+  for (mem::Pfn f : reply.frames) PutU64(out, f);
+  co_await eth_.SendTo(dgram.src_node, dgram.src_port, kPort, std::move(out));
+}
+
+sim::Task<Result<ExportId>> VmmcDaemon::Export(host::UserProcess& proc,
+                                               mem::VirtAddr va,
+                                               std::uint32_t len,
+                                               ExportOptions options) {
+  // User -> daemon IPC plus the daemon's work.
+  co_await kernel_.simulator().Delay(params_.host.syscall + 30'000);
+
+  if (lcp_ == nullptr) co_return Result<ExportId>(FailedPrecondition("daemon not started"));
+  if (len == 0) co_return Result<ExportId>(InvalidArgument("empty export"));
+  if (mem::PageOffset(va) != 0) {
+    co_return Result<ExportId>(
+        InvalidArgument("receive buffers must be page aligned"));
+  }
+  if (options.name.empty()) co_return Result<ExportId>(InvalidArgument("export needs a name"));
+  if (exports_.contains(options.name)) {
+    co_return Result<ExportId>(AlreadyExists("export name in use on this node"));
+  }
+
+  // Lock the receive buffer pages in main memory (§4.4).
+  Status pin = kernel_.PinUserPages(proc, va, len);
+  if (!pin.ok()) co_return Result<ExportId>(pin);
+
+  ExportRecord rec;
+  rec.id = next_export_id_++;
+  rec.pid = proc.pid();
+  rec.name = options.name;
+  rec.va = va;
+  rec.len = len;
+  rec.notify = options.notify;
+  rec.acl = std::move(options.acl);
+
+  // Enable each frame in the incoming page table.
+  const std::uint64_t pages = mem::PagesSpanned(va, len);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    auto pa = proc.address_space().Translate(va + i * mem::kPageSize);
+    assert(pa.ok());
+    const mem::Pfn pfn = mem::PageNumber(pa.value());
+    Status s = lcp_->incoming().Enable(pfn, rec.notify, rec.pid, rec.id);
+    if (!s.ok()) {
+      for (mem::Pfn done : rec.frames) (void)lcp_->incoming().Disable(done);
+      (void)kernel_.UnpinUserPages(proc, va, len);
+      co_return Result<ExportId>(s);
+    }
+    rec.frames.push_back(pfn);
+  }
+
+  ++exports_served_;
+  const ExportId id = rec.id;
+  std::string key = rec.name;
+  exports_.emplace(std::move(key), std::move(rec));
+  co_return id;
+}
+
+sim::Task<Status> VmmcDaemon::Unexport(host::UserProcess& proc, ExportId id) {
+  co_await kernel_.simulator().Delay(params_.host.syscall + 10'000);
+  for (auto it = exports_.begin(); it != exports_.end(); ++it) {
+    if (it->second.id != id) continue;
+    if (it->second.pid != proc.pid()) {
+      co_return PermissionDenied("export owned by another process");
+    }
+    for (mem::Pfn pfn : it->second.frames) (void)lcp_->incoming().Disable(pfn);
+    (void)kernel_.UnpinUserPages(proc, it->second.va, it->second.len);
+    exports_.erase(it);
+    co_return OkStatus();
+  }
+  co_return NotFound("no such export id");
+}
+
+sim::Task<Result<ImportedBuffer>> VmmcDaemon::Import(ProcState& state,
+                                                     int remote_node,
+                                                     const std::string& name) {
+  co_await kernel_.simulator().Delay(params_.host.syscall + 30'000);
+  if (lcp_ == nullptr) {
+    co_return Result<ImportedBuffer>(FailedPrecondition("daemon not started"));
+  }
+
+  ImportReply reply;
+  if (remote_node == node_id_) {
+    // Local export: no Ethernet round trip needed.
+    reply = LookupForImport(name, node_id_, state.pid());
+  } else {
+    const std::uint32_t tag = next_tag_++;
+    std::vector<std::uint8_t> req;
+    req.push_back(kImportReq);
+    PutU32(req, tag);
+    PutU32(req, static_cast<std::uint32_t>(state.pid()));
+    PutU32(req, static_cast<std::uint32_t>(name.size()));
+    req.insert(req.end(), name.begin(), name.end());
+
+    PendingImport& pending = pending_imports_[tag];
+    pending.done = std::make_unique<sim::Event>(kernel_.simulator());
+    co_await eth_.SendTo(remote_node, kPort, reply_port_, std::move(req));
+    co_await pending.done->Wait();
+    reply = std::move(pending_imports_.at(tag).reply);
+    pending_imports_.erase(tag);
+  }
+
+  if (!reply.status.ok()) co_return Result<ImportedBuffer>(reply.status);
+
+  // Set up outgoing page table entries pointing at the receive buffer
+  // pages on the remote node (§4.4).
+  const auto pages = static_cast<std::uint32_t>(reply.frames.size());
+  auto base = state.outgoing().AllocateRun(pages);
+  if (!base.ok()) co_return Result<ImportedBuffer>(base.status());
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    Status s = state.outgoing().Set(base.value() + i,
+                                    static_cast<std::uint32_t>(remote_node),
+                                    reply.frames[i]);
+    if (!s.ok()) {
+      for (std::uint32_t j = 0; j < i; ++j) {
+        (void)state.outgoing().Clear(base.value() + j);
+      }
+      co_return Result<ImportedBuffer>(s);
+    }
+  }
+
+  ImportedBuffer out;
+  out.proxy_base = MakeProxyAddr(base.value(), 0);
+  out.len = reply.len;
+  out.remote_node = remote_node;
+  co_return out;
+}
+
+sim::Task<Status> VmmcDaemon::Unimport(ProcState& state,
+                                       const ImportedBuffer& buffer) {
+  co_await kernel_.simulator().Delay(params_.host.syscall + 10'000);
+  const std::uint64_t pages = mem::PagesSpanned(buffer.proxy_base, buffer.len);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    Status s = state.outgoing().Clear(
+        static_cast<std::uint32_t>(ProxyPage(buffer.proxy_base) + i));
+    if (!s.ok()) co_return s;
+  }
+  co_return OkStatus();
+}
+
+}  // namespace vmmc::vmmc_core

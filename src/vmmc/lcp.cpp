@@ -1,0 +1,484 @@
+#include "vmmc/vmmc/lcp.h"
+
+#include <cassert>
+#include <string>
+
+#include "vmmc/util/log.h"
+
+namespace vmmc::vmmc_core {
+
+using mem::kPageSize;
+
+ProcState::ProcState(sim::Simulator& sim, const VmmcParams& params,
+                     host::UserProcess& process)
+    : tlb_filled(sim),
+      process_(&process),
+      outgoing_(params.outgoing_pt_pages),
+      tlb_(params.tlb_total_entries, params.tlb_ways),
+      queue_slots_(sim, params.send_queue_entries) {
+  completion_events.reserve(params.send_queue_entries);
+  for (std::uint32_t i = 0; i < params.send_queue_entries; ++i) {
+    completion_events.push_back(std::make_unique<sim::Event>(sim));
+  }
+}
+
+VmmcLcp::VmmcLcp(const Params& params, RouteTable routes)
+    : params_(params), routes_(std::move(routes)) {}
+
+// ---------------------------------------------------------------------------
+// Host-visible interface
+// ---------------------------------------------------------------------------
+
+Result<ProcState*> VmmcLcp::RegisterProcess(host::UserProcess& process) {
+  assert(nic_ != nullptr && "LCP not running yet (boot the cluster first)");
+  if (FindProc(process.pid()) != nullptr) {
+    return AlreadyExists("process already registered with VMMC");
+  }
+  const VmmcParams& vp = params_.vmmc;
+  lanai::Sram& sram = nic_->sram();
+  const std::string tag = std::to_string(process.pid());
+
+  // Every per-process structure is accounted in SRAM; running out is the
+  // resource pressure §6 attributes to the Myrinet design.
+  auto queue = sram.Allocate(
+      "sendq-" + tag, vp.send_queue_entries * (16 + vp.short_send_max));
+  if (!queue.ok()) return queue.status();
+  auto opt = sram.Allocate("outpt-" + tag, vp.outgoing_pt_pages * 4);
+  if (!opt.ok()) {
+    (void)sram.Free(queue.value());
+    return opt.status();
+  }
+  auto tlb = sram.Allocate("tlb-" + tag, vp.tlb_total_entries * 8);
+  if (!tlb.ok()) {
+    (void)sram.Free(queue.value());
+    (void)sram.Free(opt.value());
+    return tlb.status();
+  }
+
+  auto state = std::make_unique<ProcState>(nic_->simulator(), vp, process);
+  state->sram_regions = {queue.value(), opt.value(), tlb.value()};
+  procs_.push_back(std::move(state));
+  return procs_.back().get();
+}
+
+Status VmmcLcp::UnregisterProcess(int pid) {
+  for (auto it = procs_.begin(); it != procs_.end(); ++it) {
+    if ((*it)->pid() == pid) {
+      for (std::uint32_t off : (*it)->sram_regions) (void)nic_->sram().Free(off);
+      procs_.erase(it);
+      rr_cursor_ = 0;
+      return OkStatus();
+    }
+  }
+  return NotFound("pid not registered");
+}
+
+ProcState* VmmcLcp::FindProc(int pid) {
+  for (auto& p : procs_) {
+    if (p->pid() == pid) return p.get();
+  }
+  return nullptr;
+}
+
+Status VmmcLcp::PostSend(ProcState& proc, SendRequest request) {
+  if (request.slot >= proc.completion_events.size()) {
+    return InvalidArgument("bad completion slot");
+  }
+  proc.send_queue().push_back(std::move(request));
+  nic_->NotifyWork();
+  return OkStatus();
+}
+
+std::optional<std::pair<int, mem::Vpn>> VmmcLcp::TakePendingTlbMiss() {
+  for (auto& p : procs_) {
+    if (p->pending_miss.has_value()) {
+      mem::Vpn vpn = *p->pending_miss;
+      p->pending_miss.reset();
+      return std::make_pair(p->pid(), vpn);
+    }
+  }
+  return std::nullopt;
+}
+
+void VmmcLcp::CompleteTlbFill(
+    int pid, const std::vector<std::pair<mem::Vpn, mem::Pfn>>& fills) {
+  ProcState* proc = FindProc(pid);
+  if (proc == nullptr) return;
+  for (const auto& [vpn, pfn] : fills) proc->tlb().Insert(vpn, pfn);
+  proc->tlb_filled.Set();
+}
+
+std::optional<PendingNotification> VmmcLcp::PopNotification() {
+  if (notifications_.empty()) return std::nullopt;
+  PendingNotification n = notifications_.front();
+  notifications_.pop_front();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// LCP main loop
+// ---------------------------------------------------------------------------
+
+sim::Process VmmcLcp::Run(lanai::NicCard& nic) {
+  nic_ = &nic;
+  // Code + global data + staging buffers; capacity pressure for §6.
+  auto reserved = nic.sram().Allocate("lcp-code+staging",
+                                      params_.lanai.lcp_reserved_bytes);
+  assert(reserved.ok());
+  (void)reserved;
+
+  incoming_ = std::make_unique<IncomingPageTable>(nic.machine().memory().num_frames());
+  tx_box_ = std::make_unique<sim::Mailbox<TxItem>>(nic.simulator());
+  staging_ = std::make_unique<sim::Semaphore>(nic.simulator(), 2);
+  nic.simulator().Spawn(TxPump(nic));
+  running_ = true;
+
+  for (;;) {
+    co_await nic.AwaitWork();
+    while (nic.work_pending()) co_await nic.AwaitWork();  // collapse tokens
+    co_await nic.cpu().Exec(params_.lanai.main_loop_poll);
+
+    for (;;) {
+      // Incoming packets first: the LCP "needs to be responsive to
+      // unexpected, external events, such as the arrival of incoming data
+      // packets" (§5.3).
+      if (auto rp = nic.rx_queue().TryGet()) {
+        co_await HandleRecv(nic, std::move(*rp));
+        continue;
+      }
+      ProcState* proc = NextProcWithWork();
+      if (proc == nullptr) break;
+      if (proc->active.has_value()) {
+        // Advance the long send in flight by one chunk, then loop back so
+        // incoming packets interleave with outgoing chunks.
+        co_await SendOneChunk(nic, *proc);
+        continue;
+      }
+      // Picking up a new send request requires scanning the send queues
+      // of all possible senders (§6).
+      co_await nic.cpu().Exec(params_.lanai.pickup_base +
+                              params_.lanai.pickup_per_process *
+                                  static_cast<sim::Tick>(procs_.size()));
+      SendRequest req = std::move(proc->send_queue().front());
+      proc->send_queue().pop_front();
+      co_await StartSend(nic, *proc, std::move(req));
+    }
+  }
+}
+
+ProcState* VmmcLcp::NextProcWithWork() {
+  if (procs_.empty()) return nullptr;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    std::size_t idx = (rr_cursor_ + i) % procs_.size();
+    if (procs_[idx]->active.has_value() || !procs_[idx]->send_queue().empty()) {
+      rr_cursor_ = (idx + 1) % procs_.size();
+      return procs_[idx].get();
+    }
+  }
+  return nullptr;
+}
+
+// Completes a request: completion word, slot, SRAM queue-entry release.
+void VmmcLcp::FinishRequest(ProcState& proc, std::uint32_t slot,
+                            SendStatus status) {
+  WriteCompletion(proc, slot, status);
+  proc.queue_slots().Release();
+}
+
+sim::Process VmmcLcp::TxPump(lanai::NicCard& nic) {
+  for (;;) {
+    TxItem item = co_await tx_box_->Get();
+    co_await nic.NetSend(std::move(item.packet));
+    if (item.release_staging) staging_->Release();
+  }
+}
+
+void VmmcLcp::WriteCompletion(ProcState& proc, std::uint32_t slot,
+                              SendStatus status) {
+  if (proc.completion_base != 0) {
+    (void)proc.process().address_space().WriteU32(
+        proc.completion_base + slot * 4, static_cast<std::uint32_t>(status));
+  }
+  proc.completion_events[slot]->Set();
+  if (status != SendStatus::kDone) ++stats_.send_errors;
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+Result<std::pair<std::uint64_t, std::uint64_t>> VmmcLcp::ResolveChunkTarget(
+    ProcState& proc, ProxyAddr proxy, std::uint32_t chunk_len,
+    std::uint32_t* dst_node) {
+  const std::uint64_t first_page = ProxyPage(proxy);
+  auto t0 = proc.outgoing().Lookup(static_cast<std::uint32_t>(first_page));
+  if (!t0.ok()) return t0.status();
+  const std::uint64_t pa0 = mem::PageAddr(t0.value().pfn) + ProxyOffset(proxy);
+  std::uint64_t pa1 = 0;
+  if (chunk_len > 0 &&
+      mem::PageNumber(proxy + chunk_len - 1) != first_page) {
+    auto t1 = proc.outgoing().Lookup(static_cast<std::uint32_t>(first_page + 1));
+    if (!t1.ok()) return t1.status();
+    if (t1.value().node != t0.value().node) {
+      return PermissionDenied("chunk spans imports on different nodes");
+    }
+    pa1 = mem::PageAddr(t1.value().pfn);
+  }
+  *dst_node = t0.value().node;
+  return std::make_pair(pa0, pa1);
+}
+
+sim::Task<Result<mem::Pfn>> VmmcLcp::TranslateSrc(lanai::NicCard& nic,
+                                                  ProcState& proc,
+                                                  mem::Vpn vpn) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    co_await nic.cpu().Exec(params_.lanai.tlb_lookup);
+    mem::Pfn pfn = 0;
+    if (proc.tlb().Lookup(vpn, &pfn)) co_return pfn;
+    if (attempt == 1) break;
+    // Miss: interrupt the host; the driver pins the pages and inserts up
+    // to 32 translations (§4.5), then wakes us.
+    ++stats_.tlb_miss_interrupts;
+    proc.pending_miss = vpn;
+    proc.tlb_filled.Reset();
+    co_await nic.cpu().Exec(params_.lanai.raise_interrupt);
+    nic.RaiseHostInterrupt();
+    co_await proc.tlb_filled.Wait();
+  }
+  // The driver could not translate: the source page is not mapped.
+  co_return Result<mem::Pfn>(NotFound("source page unmapped"));
+}
+
+sim::Process VmmcLcp::StartSend(lanai::NicCard& nic, ProcState& proc,
+                                SendRequest req) {
+  ++stats_.sends_processed;
+  if (req.len == 0 || req.len > params_.vmmc.max_send_bytes) {
+    FinishRequest(proc, req.slot, SendStatus::kBadLength);
+    co_return;
+  }
+  // Resolve and validate the first chunk's destination now; the remaining
+  // pages are validated chunk by chunk.
+  std::uint32_t dst_node = 0;
+  const std::uint32_t first_len = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(req.len, kPageSize - ProxyOffset(req.proxy)));
+  auto first_target = ResolveChunkTarget(proc, req.proxy, first_len, &dst_node);
+  if (!first_target.ok()) {
+    ++stats_.protection_violations;
+    FinishRequest(proc, req.slot, SendStatus::kBadProxy);
+    co_return;
+  }
+  if (dst_node >= routes_.size()) {
+    FinishRequest(proc, req.slot, SendStatus::kBadProxy);
+    co_return;
+  }
+
+  if (req.len <= params_.vmmc.short_send_max) {
+    co_await HandleShortSend(nic, proc, req);
+    co_return;
+  }
+  ++stats_.long_sends;
+  proc.active = ProcState::ActiveLongSend{std::move(req), 0, true};
+}
+
+sim::Process VmmcLcp::HandleShortSend(lanai::NicCard& nic, ProcState& proc,
+                                      SendRequest& req) {
+  ++stats_.short_sends;
+  std::uint32_t dst_node = 0;
+  auto target = ResolveChunkTarget(proc, req.proxy, req.len, &dst_node);
+  assert(target.ok());  // validated by StartSend
+
+  // The LANai copies the message data from the send queue into the network
+  // buffer (§5.3).
+  const sim::Tick words = (req.len + 3) / 4;
+  co_await nic.cpu().Exec(params_.lanai.short_copy_base +
+                          words * params_.lanai.short_copy_per_word +
+                          params_.lanai.header_prep);
+
+  ChunkHeader h;
+  h.type = PacketType::kData;
+  h.flags = ChunkHeader::kFlagLastChunk |
+            (req.notify ? ChunkHeader::kFlagNotify : 0);
+  h.src_node = static_cast<std::uint16_t>(nic.nic_id());
+  h.msg_len = req.len;
+  h.chunk_len = req.len;
+  h.dst_pa0 = target.value().first;
+  h.dst_pa1 = target.value().second;
+
+  myrinet::Packet pkt;
+  pkt.route = routes_[dst_node];
+  pkt.payload = EncodeChunk(h, req.inline_data);
+
+  // Hand the packet to the transmit engine first; the completion word is
+  // correct either way (the data already lives in SRAM, PIO-copied by the
+  // host) and keeping it off the wire's critical path saves latency.
+  ++stats_.chunks_sent;
+  stats_.bytes_sent += req.len;
+  tx_box_->Put(TxItem{std::move(pkt), /*release_staging=*/false});
+  co_await nic.cpu().Exec(params_.lanai.completion_writeback);
+  FinishRequest(proc, req.slot, SendStatus::kDone);
+  co_return;
+}
+
+sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
+  assert(proc.active.has_value());
+  ProcState::ActiveLongSend& as = *proc.active;
+  const SendRequest& req = as.req;
+
+  const mem::VirtAddr src = req.src_va + as.offset;
+  const ProxyAddr dst = req.proxy + as.offset;
+  // First chunk runs to the source page boundary (§4.5); after that the
+  // source is page aligned and chunks are chunk_bytes (the page size by
+  // default; smaller values exist for the chunk-size ablation).
+  const std::uint64_t chunk_cap =
+      std::min<std::uint64_t>(params_.vmmc.chunk_bytes,
+                              kPageSize - mem::PageOffset(src));
+  const std::uint32_t chunk_len = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(req.len - as.offset, chunk_cap));
+  const bool last = as.offset + chunk_len == req.len;
+
+  // Tight sending loop vs main software state machine (§5.3): the tight
+  // loop is used only while no incoming packets demand attention and this
+  // is the only work source.
+  const bool tight = params_.vmmc.tight_send_loop && nic.rx_queue().empty() &&
+                     !nic.work_pending();
+  co_await nic.cpu().Exec(params_.lanai.chunk_overhead +
+                          (tight ? 0 : params_.lanai.main_loop_extra));
+  if (tight) {
+    ++stats_.tight_loop_chunks;
+  } else {
+    ++stats_.main_loop_chunks;
+  }
+
+  // Source translation through the per-process software TLB.
+  auto pfn = co_await TranslateSrc(nic, proc, mem::PageNumber(src));
+  if (!pfn.ok()) {
+    FinishRequest(proc, req.slot, SendStatus::kBadAddress);
+    proc.active.reset();
+    co_return;
+  }
+  const mem::PhysAddr src_pa = mem::PageAddr(pfn.value()) + mem::PageOffset(src);
+
+  // Destination validation for this chunk.
+  std::uint32_t dst_node = 0;
+  auto target = ResolveChunkTarget(proc, dst, chunk_len, &dst_node);
+  if (!target.ok()) {
+    ++stats_.protection_violations;
+    FinishRequest(proc, req.slot, SendStatus::kBadProxy);
+    proc.active.reset();
+    co_return;
+  }
+
+  // Header preparation is overlapped with the previous chunk's host DMA
+  // when precomputation is on (§4.5); the first header is always paid.
+  if (as.first_chunk || !params_.vmmc.precompute_headers) {
+    co_await nic.cpu().Exec(params_.lanai.header_prep);
+  }
+  as.first_chunk = false;
+
+  // Stage the chunk: host memory -> LANai SRAM (pipelined with the
+  // network DMA of previous chunks through the staging buffers).
+  if (params_.vmmc.pipeline_dma) co_await staging_->Acquire();
+  std::vector<std::uint8_t> data;
+  co_await nic.HostDmaRead(src_pa, data, chunk_len);
+
+  if (last) {
+    // "When the last chunk of a long message is safely stored in the
+    // LANai buffer, the LANai reports ... completion status back to user
+    // space" (§4.5).
+    co_await nic.cpu().Exec(params_.lanai.completion_writeback);
+    FinishRequest(proc, req.slot, SendStatus::kDone);
+  }
+
+  ChunkHeader h;
+  h.type = PacketType::kData;
+  h.flags = (last ? ChunkHeader::kFlagLastChunk : 0) |
+            (req.notify ? ChunkHeader::kFlagNotify : 0);
+  h.src_node = static_cast<std::uint16_t>(nic.nic_id());
+  h.msg_len = req.len;
+  h.chunk_len = chunk_len;
+  h.dst_pa0 = target.value().first;
+  h.dst_pa1 = target.value().second;
+
+  myrinet::Packet pkt;
+  pkt.route = routes_[dst_node];
+  pkt.payload = EncodeChunk(h, data);
+
+  ++stats_.chunks_sent;
+  stats_.bytes_sent += chunk_len;
+  if (params_.vmmc.pipeline_dma) {
+    tx_box_->Put(TxItem{std::move(pkt), /*release_staging=*/true});
+  } else {
+    co_await nic.NetSend(std::move(pkt));
+  }
+  as.offset += chunk_len;
+  if (last) proc.active.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) {
+  // With traffic in both directions the receive work also runs through
+  // the main software state machine instead of a dedicated drain loop
+  // (§5.3): charge the state-machine overhead when send work is pending.
+  bool mixed = false;
+  for (const auto& p : procs_) {
+    if (p->active.has_value() || !p->send_queue().empty()) {
+      mixed = true;
+      break;
+    }
+  }
+  co_await nic.cpu().Exec(params_.lanai.recv_process +
+                          (mixed ? params_.lanai.main_loop_extra : 0));
+  if (!rp.crc_ok) {
+    // Detected but not recovered (§4.2).
+    ++stats_.crc_drops;
+    co_return;
+  }
+  auto decoded = DecodeChunk(rp.packet.payload);
+  if (!decoded.has_value()) {
+    ++stats_.protection_violations;
+    co_return;
+  }
+  const ChunkHeader& h = decoded->header;
+  if (h.type != PacketType::kData) co_return;  // mapping traffic: not ours
+
+  // Check the incoming page table before any DMA touches host memory: a
+  // frame may be written only if its export enabled reception (§4.4).
+  const std::uint32_t seg0 = h.ScatterLen0();
+  const IncomingEntry* e0 = incoming_->Find(mem::PageNumber(h.dst_pa0));
+  if (e0 == nullptr || !e0->recv_enabled) {
+    ++stats_.protection_violations;
+    co_return;
+  }
+  const IncomingEntry* e1 = nullptr;
+  if (h.dst_pa1 != 0 && seg0 < h.chunk_len) {
+    e1 = incoming_->Find(mem::PageNumber(h.dst_pa1));
+    if (e1 == nullptr || !e1->recv_enabled) {
+      ++stats_.protection_violations;
+      co_return;
+    }
+  }
+
+  // Two-piece scatter into pinned receive-buffer frames (§4.5). No host
+  // CPU copy: this is the zero-copy receive path.
+  co_await nic.HostDmaWrite(h.dst_pa0, decoded->data.subspan(0, seg0));
+  if (e1 != nullptr) {
+    co_await nic.HostDmaWrite(h.dst_pa1, decoded->data.subspan(seg0));
+  }
+  ++stats_.chunks_received;
+  stats_.bytes_received += h.chunk_len;
+
+  // Notification: only on the last chunk, only if the sender asked and the
+  // export allows it (§2, §4.4).
+  if (h.last_chunk() && h.notify() && e0->notify) {
+    ++stats_.notifications_raised;
+    notifications_.push_back(
+        PendingNotification{e0->owner_pid, e0->export_id, h.msg_len});
+    co_await nic.cpu().Exec(params_.lanai.raise_interrupt);
+    nic.RaiseHostInterrupt();
+  }
+}
+
+}  // namespace vmmc::vmmc_core

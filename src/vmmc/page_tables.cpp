@@ -1,0 +1,85 @@
+#include "vmmc/vmmc/page_tables.h"
+
+namespace vmmc::vmmc_core {
+
+Status OutgoingPageTable::Set(std::uint32_t proxy_page, std::uint32_t dst_node,
+                              mem::Pfn dst_pfn) {
+  if (proxy_page >= capacity()) {
+    return OutOfRange("proxy page beyond outgoing page table");
+  }
+  if (dst_node > kMaxNode) return InvalidArgument("node index too large");
+  if (dst_pfn > kMaxPfn) return InvalidArgument("destination pfn too large");
+  if (entries_[proxy_page] & kValidBit) {
+    return AlreadyExists("proxy page already mapped");
+  }
+  entries_[proxy_page] =
+      kValidBit | (dst_node << 24) | static_cast<std::uint32_t>(dst_pfn);
+  return OkStatus();
+}
+
+Status OutgoingPageTable::Clear(std::uint32_t proxy_page) {
+  if (proxy_page >= capacity()) {
+    return OutOfRange("proxy page beyond outgoing page table");
+  }
+  if (!(entries_[proxy_page] & kValidBit)) return NotFound("proxy page not mapped");
+  entries_[proxy_page] = 0;
+  return OkStatus();
+}
+
+Result<OutgoingPageTable::Target> OutgoingPageTable::Lookup(
+    std::uint32_t proxy_page) const {
+  if (proxy_page >= capacity()) {
+    return OutOfRange("proxy address beyond outgoing page table");
+  }
+  const std::uint32_t e = entries_[proxy_page];
+  if (!(e & kValidBit)) {
+    return PermissionDenied("proxy page not mapped by any import");
+  }
+  return Target{(e >> 24) & 0x7Fu, e & 0x00FF'FFFFu};
+}
+
+Result<std::uint32_t> OutgoingPageTable::AllocateRun(std::uint32_t count) const {
+  if (count == 0) return InvalidArgument("zero-length proxy run");
+  std::uint32_t run = 0;
+  for (std::uint32_t i = 0; i < capacity(); ++i) {
+    run = (entries_[i] & kValidBit) ? 0 : run + 1;
+    if (run == count) return i - count + 1;
+  }
+  return ResourceExhausted(
+      "outgoing page table full (imported receive buffer limit reached)");
+}
+
+std::uint32_t OutgoingPageTable::valid_entries() const {
+  std::uint32_t n = 0;
+  for (std::uint32_t e : entries_) n += (e & kValidBit) ? 1 : 0;
+  return n;
+}
+
+Status IncomingPageTable::Enable(mem::Pfn pfn, bool notify, std::int32_t owner_pid,
+                                 std::uint32_t export_id) {
+  if (pfn >= entries_.size()) return OutOfRange("pfn beyond physical memory");
+  IncomingEntry& e = entries_[pfn];
+  if (e.recv_enabled) return AlreadyExists("frame already export-enabled");
+  e = IncomingEntry{true, notify, owner_pid, export_id};
+  return OkStatus();
+}
+
+Status IncomingPageTable::Disable(mem::Pfn pfn) {
+  if (pfn >= entries_.size()) return OutOfRange("pfn beyond physical memory");
+  if (!entries_[pfn].recv_enabled) return NotFound("frame not enabled");
+  entries_[pfn] = IncomingEntry{};
+  return OkStatus();
+}
+
+const IncomingEntry* IncomingPageTable::Find(mem::Pfn pfn) const {
+  if (pfn >= entries_.size()) return nullptr;
+  return &entries_[pfn];
+}
+
+std::uint64_t IncomingPageTable::enabled_count() const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) n += e.recv_enabled ? 1 : 0;
+  return n;
+}
+
+}  // namespace vmmc::vmmc_core

@@ -1,0 +1,82 @@
+#include "vmmc/vrpc/rpc_message.h"
+
+namespace vmmc::vrpc {
+
+namespace {
+constexpr std::uint32_t kAuthNull = 0;
+
+void PutNullAuth(XdrWriter& w) {
+  w.PutU32(kAuthNull);  // flavor
+  w.PutU32(0);          // length
+}
+
+bool SkipAuth(XdrReader& r) {
+  (void)r.GetU32();  // flavor
+  const std::uint32_t len = r.GetU32();
+  for (std::uint32_t i = 0; i < (len + 3) / 4; ++i) (void)r.GetU32();
+  return r.ok();
+}
+}  // namespace
+
+std::vector<std::uint8_t> EncodeCall(const CallMessage& call) {
+  XdrWriter w;
+  w.PutU32(call.xid);
+  w.PutU32(static_cast<std::uint32_t>(MsgType::kCall));
+  w.PutU32(kRpcVersion);
+  w.PutU32(call.prog);
+  w.PutU32(call.vers);
+  w.PutU32(call.proc);
+  PutNullAuth(w);  // credentials
+  PutNullAuth(w);  // verifier
+  auto out = w.Take();
+  out.insert(out.end(), call.args.begin(), call.args.end());
+  return out;
+}
+
+std::vector<std::uint8_t> EncodeReply(const ReplyMessage& reply) {
+  XdrWriter w;
+  w.PutU32(reply.xid);
+  w.PutU32(static_cast<std::uint32_t>(MsgType::kReply));
+  w.PutU32(static_cast<std::uint32_t>(ReplyStat::kAccepted));
+  PutNullAuth(w);  // verifier
+  w.PutU32(static_cast<std::uint32_t>(reply.stat));
+  auto out = w.Take();
+  if (reply.stat == AcceptStat::kSuccess) {
+    out.insert(out.end(), reply.results.begin(), reply.results.end());
+  }
+  return out;
+}
+
+std::optional<CallMessage> DecodeCall(std::span<const std::uint8_t> bytes) {
+  XdrReader r(bytes);
+  CallMessage call;
+  call.xid = r.GetU32();
+  if (r.GetU32() != static_cast<std::uint32_t>(MsgType::kCall)) return std::nullopt;
+  if (r.GetU32() != kRpcVersion) return std::nullopt;
+  call.prog = r.GetU32();
+  call.vers = r.GetU32();
+  call.proc = r.GetU32();
+  if (!SkipAuth(r) || !SkipAuth(r)) return std::nullopt;
+  if (!r.ok()) return std::nullopt;
+  call.args.assign(bytes.end() - static_cast<std::ptrdiff_t>(r.remaining()),
+                   bytes.end());
+  return call;
+}
+
+std::optional<ReplyMessage> DecodeReply(std::span<const std::uint8_t> bytes) {
+  XdrReader r(bytes);
+  ReplyMessage reply;
+  reply.xid = r.GetU32();
+  if (r.GetU32() != static_cast<std::uint32_t>(MsgType::kReply)) return std::nullopt;
+  if (r.GetU32() != static_cast<std::uint32_t>(ReplyStat::kAccepted)) {
+    return std::nullopt;
+  }
+  if (!SkipAuth(r)) return std::nullopt;
+  reply.stat = static_cast<AcceptStat>(r.GetU32());
+  if (!r.ok()) return std::nullopt;
+  reply.results.assign(bytes.end() - static_cast<std::ptrdiff_t>(r.remaining()),
+                       bytes.end());
+  return reply;
+}
+
+}  // namespace vmmc::vrpc

@@ -1,0 +1,68 @@
+#include "vmmc/vrpc/xdr.h"
+
+namespace vmmc::vrpc {
+
+void XdrWriter::PutU32(std::uint32_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void XdrWriter::PutU64(std::uint64_t v) {
+  PutU32(static_cast<std::uint32_t>(v >> 32));
+  PutU32(static_cast<std::uint32_t>(v));
+}
+
+void XdrWriter::PutOpaque(std::span<const std::uint8_t> bytes) {
+  PutU32(static_cast<std::uint32_t>(bytes.size()));
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  while (buffer_.size() % 4 != 0) buffer_.push_back(0);
+}
+
+void XdrWriter::PutString(const std::string& s) {
+  PutOpaque(std::span(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+bool XdrReader::Need(std::size_t n) {
+  if (!ok_ || pos_ + n > data_.size()) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t XdrReader::GetU32() {
+  if (!Need(4)) return 0;
+  std::uint32_t v = (std::uint32_t{data_[pos_]} << 24) |
+                    (std::uint32_t{data_[pos_ + 1]} << 16) |
+                    (std::uint32_t{data_[pos_ + 2]} << 8) |
+                    std::uint32_t{data_[pos_ + 3]};
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t XdrReader::GetU64() {
+  const std::uint64_t hi = GetU32();
+  const std::uint64_t lo = GetU32();
+  return (hi << 32) | lo;
+}
+
+std::vector<std::uint8_t> XdrReader::GetOpaque() {
+  const std::uint32_t len = GetU32();
+  if (!Need(len)) return {};
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  const std::size_t pad = (4 - len % 4) % 4;
+  if (!Need(pad)) return {};
+  pos_ += pad;
+  return out;
+}
+
+std::string XdrReader::GetString() {
+  auto bytes = GetOpaque();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace vmmc::vrpc

@@ -1,0 +1,13 @@
+// Coroutine-safe assertion for tests: gtest's ASSERT_* expands to `return`,
+// which is illegal inside a coroutine; this records the failure and
+// co_returns instead.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#define CO_ASSERT_TRUE(cond)                                   \
+  if (!(cond)) {                                               \
+    ADD_FAILURE() << "CO_ASSERT_TRUE failed: " #cond;          \
+    co_return;                                                 \
+  } else                                                       \
+    (void)0

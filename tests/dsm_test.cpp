@@ -1,0 +1,236 @@
+// Tests for the DSM layer over VMMC: page faulting, home-based coherence
+// under locks, write-back on release, lock exclusion, and a parallel
+// counter workload.
+#include <gtest/gtest.h>
+
+#include "co_test_util.h"
+#include "vmmc/dsm/dsm.h"
+
+namespace vmmc::dsm {
+namespace {
+
+using vmmc_core::Cluster;
+using vmmc_core::ClusterOptions;
+
+class DsmTest : public ::testing::Test {
+ protected:
+  void Boot(int nodes, std::uint32_t pages = 16) {
+    ClusterOptions options;
+    options.num_nodes = nodes;
+    cluster_ = std::make_unique<Cluster>(sim_, params_, options);
+    ASSERT_TRUE(cluster_->Boot().ok());
+
+    nodes_.resize(static_cast<std::size_t>(nodes));
+    int created = 0;
+    auto create = [this, nodes, pages, &created](int r) -> sim::Process {
+      DsmOptions opts;
+      opts.total_pages = pages;
+      auto n = co_await DsmNode::Create(*cluster_, r, nodes, opts);
+      CO_ASSERT_TRUE(n.ok());
+      nodes_[static_cast<std::size_t>(r)] = std::move(n).value();
+      ++created;
+    };
+    for (int r = 0; r < nodes; ++r) sim_.Spawn(create(r));
+    ASSERT_TRUE(sim_.RunUntil([&] { return created == nodes; }, 200'000'000));
+
+    bool wired = false;
+    auto wire = [this, nodes, &wired]() -> sim::Process {
+      for (int a = 0; a < nodes; ++a) {
+        for (int b = a + 1; b < nodes; ++b) {
+          Status s = co_await nodes_[static_cast<std::size_t>(a)]->Connect(
+              *nodes_[static_cast<std::size_t>(b)]);
+          CO_ASSERT_TRUE(s.ok());
+        }
+      }
+      wired = true;
+    };
+    sim_.Spawn(wire());
+    ASSERT_TRUE(sim_.RunUntil([&] { return wired; }, 500'000'000));
+    for (auto& n : nodes_) n->StartService();
+  }
+
+  void TearDown() override {
+    for (auto& n : nodes_) {
+      if (n) n->StopService();
+    }
+  }
+
+  sim::Simulator sim_;
+  Params params_;
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<DsmNode>> nodes_;
+};
+
+TEST_F(DsmTest, RemoteReadFaultsPageIn) {
+  Boot(2);
+  bool done = false;
+  auto prog = [&]() -> sim::Process {
+    // Page 1 is homed on rank 1; rank 1 writes it in place.
+    std::vector<std::uint8_t> data(100, 0x42);
+    Status w = co_await nodes_[1]->Write(mem::kPageSize + 10, data);
+    CO_ASSERT_TRUE(w.ok());
+    // Rank 0 reads it: one page fetch.
+    std::vector<std::uint8_t> got(100);
+    Status r = co_await nodes_[0]->Read(mem::kPageSize + 10, got);
+    CO_ASSERT_TRUE(r.ok());
+    EXPECT_EQ(got, data);
+    EXPECT_EQ(nodes_[0]->stats().page_fetches, 1u);
+    // A second read hits the cache: no new fetch.
+    Status r2 = co_await nodes_[0]->Read(mem::kPageSize + 50, got);
+    CO_ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(nodes_[0]->stats().page_fetches, 1u);
+    done = true;
+  };
+  sim_.Spawn(prog());
+  ASSERT_TRUE(sim_.RunUntil([&] { return done; }, 500'000'000));
+}
+
+TEST_F(DsmTest, ReleasePropagatesWritesToNextAcquirer) {
+  Boot(2);
+  bool done = false;
+  auto prog = [&]() -> sim::Process {
+    // Rank 0 updates a page homed on rank 1 under a lock.
+    Status a = co_await nodes_[0]->Acquire(7);
+    CO_ASSERT_TRUE(a.ok());
+    std::vector<std::uint8_t> data(200);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 3);
+    }
+    Status w = co_await nodes_[0]->Write(3 * mem::kPageSize + 7, data);
+    CO_ASSERT_TRUE(w.ok());
+    Status rel = co_await nodes_[0]->Release(7);
+    CO_ASSERT_TRUE(rel.ok());
+    EXPECT_GE(nodes_[0]->stats().write_backs, 1u);
+
+    // Rank 1 (the home) sees it after acquiring.
+    Status a1 = co_await nodes_[1]->Acquire(7);
+    CO_ASSERT_TRUE(a1.ok());
+    std::vector<std::uint8_t> got(200);
+    Status r = co_await nodes_[1]->Read(3 * mem::kPageSize + 7, got);
+    CO_ASSERT_TRUE(r.ok());
+    EXPECT_EQ(got, data);
+    Status rel1 = co_await nodes_[1]->Release(7);
+    CO_ASSERT_TRUE(rel1.ok());
+    done = true;
+  };
+  sim_.Spawn(prog());
+  ASSERT_TRUE(sim_.RunUntil([&] { return done; }, 500'000'000));
+}
+
+TEST_F(DsmTest, AcquireInvalidatesStaleCache) {
+  Boot(3);
+  bool done = false;
+  auto prog = [&]() -> sim::Process {
+    // Rank 0 caches page 1 (homed on rank 1).
+    std::vector<std::uint8_t> got(4);
+    Status r0 = co_await nodes_[0]->Read(mem::kPageSize, got);
+    CO_ASSERT_TRUE(r0.ok());
+    EXPECT_EQ(got[0], 0);
+
+    // Rank 2 updates the page under the lock.
+    CO_ASSERT_TRUE((co_await nodes_[2]->Acquire(1)).ok());
+    std::vector<std::uint8_t> update = {9, 9, 9, 9};
+    CO_ASSERT_TRUE((co_await nodes_[2]->Write(mem::kPageSize, update)).ok());
+    CO_ASSERT_TRUE((co_await nodes_[2]->Release(1)).ok());
+
+    // Without a lock, rank 0 may still see its stale cache...
+    Status stale = co_await nodes_[0]->Read(mem::kPageSize, got);
+    CO_ASSERT_TRUE(stale.ok());
+    // ...but after Acquire the cache is invalidated and refetched.
+    CO_ASSERT_TRUE((co_await nodes_[0]->Acquire(1)).ok());
+    Status fresh = co_await nodes_[0]->Read(mem::kPageSize, got);
+    CO_ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(got, update);
+    CO_ASSERT_TRUE((co_await nodes_[0]->Release(1)).ok());
+    done = true;
+  };
+  sim_.Spawn(prog());
+  ASSERT_TRUE(sim_.RunUntil([&] { return done; }, 500'000'000));
+}
+
+TEST_F(DsmTest, LocksExclude) {
+  Boot(2);
+  bool done0 = false, done1 = false;
+  sim::Tick hold_end = 0;
+  sim::Tick second_acquired = 0;
+  auto holder = [&]() -> sim::Process {
+    CO_ASSERT_TRUE((co_await nodes_[0]->Acquire(3)).ok());
+    co_await sim_.Delay(5 * sim::kMillisecond);
+    hold_end = sim_.now();
+    CO_ASSERT_TRUE((co_await nodes_[0]->Release(3)).ok());
+    done0 = true;
+  };
+  auto contender = [&]() -> sim::Process {
+    co_await sim_.Delay(100'000);  // let the holder win
+    CO_ASSERT_TRUE((co_await nodes_[1]->Acquire(3)).ok());
+    second_acquired = sim_.now();
+    CO_ASSERT_TRUE((co_await nodes_[1]->Release(3)).ok());
+    done1 = true;
+  };
+  sim_.Spawn(holder());
+  sim_.Spawn(contender());
+  ASSERT_TRUE(sim_.RunUntil([&] { return done0 && done1; }, 1'000'000'000));
+  EXPECT_GE(second_acquired, hold_end) << "mutual exclusion violated";
+  EXPECT_GT(nodes_[1]->stats().lock_waits, 0u);
+}
+
+TEST_F(DsmTest, ParallelCounterUnderLockIsExact) {
+  // The classic DSM smoke test: N ranks increment a shared counter under
+  // a lock; the total must be exact.
+  const int kNodes = 3;
+  const int kIncrementsPerRank = 8;
+  Boot(kNodes);
+  int finished = 0;
+  auto worker = [&](int r) -> sim::Process {
+    for (int i = 0; i < kIncrementsPerRank; ++i) {
+      CO_ASSERT_TRUE((co_await nodes_[static_cast<std::size_t>(r)]->Acquire(0)).ok());
+      std::uint8_t word[4];
+      CO_ASSERT_TRUE(
+          (co_await nodes_[static_cast<std::size_t>(r)]->Read(0, word)).ok());
+      std::uint32_t value = std::uint32_t{word[0]} | (std::uint32_t{word[1]} << 8) |
+                            (std::uint32_t{word[2]} << 16) |
+                            (std::uint32_t{word[3]} << 24);
+      ++value;
+      for (int b = 0; b < 4; ++b) word[b] = static_cast<std::uint8_t>(value >> (8 * b));
+      CO_ASSERT_TRUE(
+          (co_await nodes_[static_cast<std::size_t>(r)]->Write(0, word)).ok());
+      CO_ASSERT_TRUE((co_await nodes_[static_cast<std::size_t>(r)]->Release(0)).ok());
+    }
+    ++finished;
+  };
+  for (int r = 0; r < kNodes; ++r) sim_.Spawn(worker(r));
+  ASSERT_TRUE(sim_.RunUntil([&] { return finished == kNodes; }, 2'000'000'000));
+
+  bool checked = false;
+  auto check = [&]() -> sim::Process {
+    CO_ASSERT_TRUE((co_await nodes_[1]->Acquire(0)).ok());
+    std::uint8_t word[4];
+    CO_ASSERT_TRUE((co_await nodes_[1]->Read(0, word)).ok());
+    const std::uint32_t value = std::uint32_t{word[0]} | (std::uint32_t{word[1]} << 8) |
+                                (std::uint32_t{word[2]} << 16) |
+                                (std::uint32_t{word[3]} << 24);
+    EXPECT_EQ(value, static_cast<std::uint32_t>(kNodes * kIncrementsPerRank));
+    CO_ASSERT_TRUE((co_await nodes_[1]->Release(0)).ok());
+    checked = true;
+  };
+  sim_.Spawn(check());
+  ASSERT_TRUE(sim_.RunUntil([&] { return checked; }, 500'000'000));
+}
+
+TEST_F(DsmTest, OutOfRangeAccessRejected) {
+  Boot(2, /*pages=*/4);
+  bool done = false;
+  auto prog = [&]() -> sim::Process {
+    std::uint8_t b[8];
+    Status r = co_await nodes_[0]->Read(4 * mem::kPageSize, b);
+    EXPECT_EQ(r.code(), ErrorCode::kOutOfRange);
+    Status w = co_await nodes_[0]->Write(4 * mem::kPageSize - 4, b);  // spans out
+    EXPECT_EQ(w.code(), ErrorCode::kOutOfRange);
+    done = true;
+  };
+  sim_.Spawn(prog());
+  ASSERT_TRUE(sim_.RunUntil([&] { return done; }, 100'000'000));
+}
+
+}  // namespace
+}  // namespace vmmc::dsm

@@ -1,0 +1,89 @@
+// Tests for the Ethernet control-network model.
+#include <gtest/gtest.h>
+
+#include "vmmc/ethernet/ethernet.h"
+#include "vmmc/params.h"
+
+namespace vmmc::ethernet {
+namespace {
+
+class EthernetTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  Params params_;
+  Segment seg_{sim_, params_.ethernet};
+};
+
+sim::Process SendOne(Interface& from, int dst, std::uint16_t port,
+                     std::vector<std::uint8_t> data) {
+  co_await from.SendTo(dst, port, 0, std::move(data));
+}
+
+TEST_F(EthernetTest, DatagramDelivery) {
+  Interface& a = seg_.AddInterface(0);
+  Interface& b = seg_.AddInterface(1);
+  auto box = b.Bind(700);
+  ASSERT_TRUE(box.ok());
+  sim_.Spawn(SendOne(a, 1, 700, {1, 2, 3}));
+  sim_.Run();
+  ASSERT_EQ(box.value()->size(), 1u);
+  auto d = box.value()->TryGet();
+  EXPECT_EQ(d->src_node, 0);
+  EXPECT_EQ(d->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(b.delivered(), 1u);
+}
+
+TEST_F(EthernetTest, UnboundPortDrops) {
+  Interface& a = seg_.AddInterface(0);
+  Interface& b = seg_.AddInterface(1);
+  sim_.Spawn(SendOne(a, 1, 999, {1}));
+  sim_.Run();
+  EXPECT_EQ(b.dropped_no_port(), 1u);
+}
+
+TEST_F(EthernetTest, UnknownNodeVanishes) {
+  Interface& a = seg_.AddInterface(0);
+  sim_.Spawn(SendOne(a, 7, 700, {1}));
+  sim_.Run();  // must not crash
+  EXPECT_EQ(a.delivered(), 0u);
+}
+
+TEST_F(EthernetTest, DoubleBindRejected) {
+  Interface& a = seg_.AddInterface(0);
+  ASSERT_TRUE(a.Bind(700).ok());
+  EXPECT_FALSE(a.Bind(700).ok());
+  EXPECT_TRUE(a.Unbind(700).ok());
+  EXPECT_TRUE(a.Bind(700).ok());
+  EXPECT_FALSE(a.Unbind(701).ok());
+}
+
+TEST_F(EthernetTest, EthernetIsSlowComparedToMyrinet) {
+  // A 1 KB datagram takes on the order of a millisecond: stack cost +
+  // frame latency + 10 Mb/s serialization. This is why the daemons use it
+  // only for setup, never for data.
+  Interface& a = seg_.AddInterface(0);
+  Interface& b = seg_.AddInterface(1);
+  auto box = b.Bind(700);
+  ASSERT_TRUE(box.ok());
+  sim_.Spawn(SendOne(a, 1, 700, std::vector<std::uint8_t>(1024, 0)));
+  sim_.Run();
+  EXPECT_GT(sim_.now(), 500 * sim::kMicrosecond);
+  EXPECT_LT(sim_.now(), 10 * sim::kMillisecond);
+}
+
+TEST_F(EthernetTest, SharedMediumSerializes) {
+  Interface& a = seg_.AddInterface(0);
+  Interface& b = seg_.AddInterface(1);
+  Interface& c = seg_.AddInterface(2);
+  auto box = c.Bind(700);
+  ASSERT_TRUE(box.ok());
+  sim_.Spawn(SendOne(a, 2, 700, std::vector<std::uint8_t>(1400, 1)));
+  sim_.Spawn(SendOne(b, 2, 700, std::vector<std::uint8_t>(1400, 2)));
+  sim_.Run();
+  EXPECT_EQ(box.value()->size(), 2u);
+  // Two frames cannot share the wire: total time >= 2 frame latencies.
+  EXPECT_GE(sim_.now(), 2 * params_.ethernet.frame_latency);
+}
+
+}  // namespace
+}  // namespace vmmc::ethernet

@@ -1,0 +1,264 @@
+// Tests for the Myrinet fabric: CRC-8 hardware, link timing/occupancy,
+// switch routing, multi-hop topologies and error injection.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "vmmc/myrinet/crc8.h"
+#include "vmmc/myrinet/fabric.h"
+#include "vmmc/params.h"
+#include "vmmc/sim/simulator.h"
+
+namespace vmmc::myrinet {
+namespace {
+
+using sim::Tick;
+
+TEST(Crc8Test, KnownVectors) {
+  // CRC-8 (poly 0x07, init 0) of "123456789" is 0xF4.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc8(digits), 0xF4);
+  EXPECT_EQ(Crc8({}), 0x00);
+  const std::uint8_t zero[4] = {0, 0, 0, 0};
+  EXPECT_EQ(Crc8(zero), 0x00);
+}
+
+TEST(Crc8Test, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(257);
+  std::iota(data.begin(), data.end(), 0);
+  std::uint8_t inc = 0;
+  inc = Crc8Update(inc, std::span(data).subspan(0, 100));
+  inc = Crc8Update(inc, std::span(data).subspan(100));
+  EXPECT_EQ(inc, Crc8(data));
+}
+
+TEST(Crc8Test, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(64, 0xA5);
+  const std::uint8_t good = Crc8(data);
+  for (int byte = 0; byte < 64; byte += 7) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = data;
+      bad[static_cast<size_t>(byte)] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(Crc8(bad), good);
+    }
+  }
+}
+
+TEST(PacketTest, WireSizeAndCrcStamp) {
+  Packet p;
+  p.route = {1, 2};
+  p.payload = {10, 20, 30};
+  EXPECT_EQ(p.wire_bytes(), 2u + 3u + 1u);
+  p.StampCrc();
+  EXPECT_TRUE(p.CrcOk());
+  p.payload[1] ^= 0x40;
+  EXPECT_FALSE(p.CrcOk());
+}
+
+// Test endpoint recording deliveries.
+class Sink : public Endpoint {
+ public:
+  explicit Sink(sim::Simulator& sim) : sim_(sim) {}
+  void OnPacket(Packet packet, Tick tail_time) override {
+    head_times.push_back(sim_.now());
+    tail_times.push_back(tail_time);
+    packets.push_back(std::move(packet));
+  }
+  sim::Simulator& sim_;
+  std::vector<Packet> packets;
+  std::vector<Tick> head_times;
+  std::vector<Tick> tail_times;
+};
+
+class FabricTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  Params params_;
+};
+
+TEST_F(FabricTest, SingleSwitchDeliveryTimingAndIntegrity) {
+  Fabric fabric(sim_, params_.net);
+  TopologyPlan plan = BuildSingleSwitch(fabric);
+  Sink a(sim_), b(sim_);
+  int na = fabric.AddNic(&a);
+  int nb = fabric.AddNic(&b);
+  ASSERT_TRUE(fabric.ConnectNic(na, plan.nic_slots[0].switch_id, plan.nic_slots[0].port).ok());
+  ASSERT_TRUE(fabric.ConnectNic(nb, plan.nic_slots[1].switch_id, plan.nic_slots[1].port).ok());
+
+  auto route = fabric.ComputeRoute(na, nb);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route.value().size(), 1u);  // one switch traversed
+
+  Packet p;
+  p.route = route.value();
+  p.payload.resize(1000);
+  std::iota(p.payload.begin(), p.payload.end(), 0);
+  auto sent_payload = p.payload;
+  ASSERT_TRUE(fabric.Inject(na, std::move(p)).ok());
+  sim_.Run();
+
+  ASSERT_EQ(b.packets.size(), 1u);
+  EXPECT_TRUE(b.packets[0].CrcOk());
+  EXPECT_EQ(b.packets[0].payload, sent_payload);
+  EXPECT_TRUE(b.packets[0].route.empty()) << "route fully consumed";
+  EXPECT_EQ(a.packets.size(), 0u);
+
+  // Timing: wire = 1 route byte + 1000 payload + crc on first link; the
+  // second link carries 1001 bytes (route byte consumed). Head through two
+  // links and one switch; tail = head + serialization of the last hop.
+  const Tick ser1 = sim::NsForBytes(1002, params_.net.link_mb_s);
+  const Tick ser2 = sim::NsForBytes(1001, params_.net.link_mb_s);
+  const Tick expect_head =
+      params_.net.link_latency + params_.net.switch_latency + params_.net.link_latency;
+  EXPECT_EQ(b.head_times[0], expect_head);
+  EXPECT_EQ(b.tail_times[0], expect_head + ser2);
+  (void)ser1;
+}
+
+TEST_F(FabricTest, InOrderDeliveryUnderBackToBackTraffic) {
+  Fabric fabric(sim_, params_.net);
+  TopologyPlan plan = BuildSingleSwitch(fabric);
+  Sink a(sim_), b(sim_);
+  int na = fabric.AddNic(&a);
+  int nb = fabric.AddNic(&b);
+  ASSERT_TRUE(fabric.ConnectNic(na, plan.nic_slots[0].switch_id, plan.nic_slots[0].port).ok());
+  ASSERT_TRUE(fabric.ConnectNic(nb, plan.nic_slots[1].switch_id, plan.nic_slots[1].port).ok());
+  auto route = fabric.ComputeRoute(na, nb).value();
+
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    Packet p;
+    p.route = route;
+    p.payload.assign(200, i);
+    ASSERT_TRUE(fabric.Inject(na, std::move(p)).ok());
+  }
+  sim_.Run();
+  ASSERT_EQ(b.packets.size(), 100u);
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(b.packets[i].payload[0], i) << "out of order delivery";
+  }
+  // Tails must be spaced at least one serialization time apart (occupancy).
+  const Tick ser = sim::NsForBytes(201, params_.net.link_mb_s);
+  for (size_t i = 1; i < b.tail_times.size(); ++i) {
+    EXPECT_GE(b.tail_times[i] - b.tail_times[i - 1], ser - 1);
+  }
+}
+
+TEST_F(FabricTest, LinkBandwidthApproaches160MBs) {
+  Fabric fabric(sim_, params_.net);
+  TopologyPlan plan = BuildSingleSwitch(fabric);
+  Sink a(sim_), b(sim_);
+  int na = fabric.AddNic(&a);
+  int nb = fabric.AddNic(&b);
+  ASSERT_TRUE(fabric.ConnectNic(na, plan.nic_slots[0].switch_id, plan.nic_slots[0].port).ok());
+  ASSERT_TRUE(fabric.ConnectNic(nb, plan.nic_slots[1].switch_id, plan.nic_slots[1].port).ok());
+  auto route = fabric.ComputeRoute(na, nb).value();
+
+  const int kPackets = 256;
+  const std::size_t kBytes = 4096;
+  for (int i = 0; i < kPackets; ++i) {
+    Packet p;
+    p.route = route;
+    p.payload.assign(kBytes, 0x55);
+    ASSERT_TRUE(fabric.Inject(na, std::move(p)).ok());
+  }
+  sim_.Run();
+  ASSERT_EQ(b.packets.size(), static_cast<size_t>(kPackets));
+  const double bw = sim::MBPerSec(kPackets * kBytes, b.tail_times.back());
+  EXPECT_GT(bw, 150.0);
+  EXPECT_LE(bw, 160.5);
+}
+
+TEST_F(FabricTest, SwitchChainMultiHopRoutes) {
+  Fabric fabric(sim_, params_.net);
+  TopologyPlan plan = BuildSwitchChain(fabric, /*num_switches=*/3, /*per_switch=*/2);
+  ASSERT_EQ(plan.nic_slots.size(), 6u);
+  std::vector<std::unique_ptr<Sink>> sinks;
+  for (size_t i = 0; i < plan.nic_slots.size(); ++i) {
+    sinks.push_back(std::make_unique<Sink>(sim_));
+    int id = fabric.AddNic(sinks.back().get());
+    ASSERT_TRUE(fabric.ConnectNic(id, plan.nic_slots[i].switch_id,
+                                  plan.nic_slots[i].port).ok());
+  }
+  // NIC 0 is on switch 0, NIC 5 on switch 2: the route crosses 3 switches.
+  auto route = fabric.ComputeRoute(0, 5);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route.value().size(), 3u);
+
+  // All-pairs connectivity.
+  for (int s = 0; s < 6; ++s) {
+    for (int d = 0; d < 6; ++d) {
+      if (s == d) continue;
+      auto r = fabric.ComputeRoute(s, d);
+      ASSERT_TRUE(r.ok()) << s << "->" << d;
+      Packet p;
+      p.route = r.value();
+      p.payload = {static_cast<std::uint8_t>(s), static_cast<std::uint8_t>(d)};
+      ASSERT_TRUE(fabric.Inject(s, std::move(p)).ok());
+    }
+  }
+  sim_.Run();
+  for (int d = 0; d < 6; ++d) {
+    EXPECT_EQ(sinks[static_cast<size_t>(d)]->packets.size(), 5u) << "nic " << d;
+    for (const auto& p : sinks[static_cast<size_t>(d)]->packets) {
+      EXPECT_EQ(p.payload[1], d) << "misrouted packet";
+      EXPECT_TRUE(p.CrcOk());
+    }
+  }
+}
+
+TEST_F(FabricTest, InvalidRouteDropsAtSwitch) {
+  Fabric fabric(sim_, params_.net);
+  TopologyPlan plan = BuildSingleSwitch(fabric);
+  Sink a(sim_);
+  int na = fabric.AddNic(&a);
+  ASSERT_TRUE(fabric.ConnectNic(na, plan.nic_slots[0].switch_id, plan.nic_slots[0].port).ok());
+
+  Packet p;
+  p.route = {7};  // unconnected port
+  p.payload = {1};
+  ASSERT_TRUE(fabric.Inject(na, std::move(p)).ok());
+  Packet q;  // empty route
+  q.payload = {2};
+  ASSERT_TRUE(fabric.Inject(na, std::move(q)).ok());
+  sim_.Run();
+  EXPECT_EQ(fabric.switch_at(0).dropped(), 2u);
+  EXPECT_EQ(a.packets.size(), 0u);
+}
+
+TEST_F(FabricTest, ErrorInjectionCorruptsCrcButDelivers) {
+  Params params;
+  params.net.packet_error_rate = 1.0;  // every packet corrupted
+  Fabric fabric(sim_, params.net);
+  TopologyPlan plan = BuildSingleSwitch(fabric);
+  Sink a(sim_), b(sim_);
+  int na = fabric.AddNic(&a);
+  int nb = fabric.AddNic(&b);
+  ASSERT_TRUE(fabric.ConnectNic(na, plan.nic_slots[0].switch_id, plan.nic_slots[0].port).ok());
+  ASSERT_TRUE(fabric.ConnectNic(nb, plan.nic_slots[1].switch_id, plan.nic_slots[1].port).ok());
+  auto route = fabric.ComputeRoute(na, nb).value();
+  Packet p;
+  p.route = route;
+  p.payload.assign(100, 0xEE);
+  ASSERT_TRUE(fabric.Inject(na, std::move(p)).ok());
+  sim_.Run();
+  ASSERT_EQ(b.packets.size(), 1u);
+  EXPECT_FALSE(b.packets[0].CrcOk()) << "hardware CRC must flag the corruption";
+}
+
+TEST_F(FabricTest, BadIdsRejected) {
+  Fabric fabric(sim_, params_.net);
+  BuildSingleSwitch(fabric);
+  EXPECT_FALSE(fabric.ConnectNic(0, 0, 0).ok());  // no such nic
+  Sink a(sim_);
+  int na = fabric.AddNic(&a);
+  EXPECT_FALSE(fabric.ConnectNic(na, 5, 0).ok());   // no such switch
+  EXPECT_FALSE(fabric.ConnectNic(na, 0, 99).ok());  // no such port
+  EXPECT_FALSE(fabric.Inject(na, Packet{}).ok());   // not connected yet
+  EXPECT_FALSE(fabric.ComputeRoute(na, na + 1).ok());
+  ASSERT_TRUE(fabric.ConnectNic(na, 0, 3).ok());
+  EXPECT_FALSE(fabric.ConnectNic(na, 0, 4).ok()) << "double connect";
+}
+
+}  // namespace
+}  // namespace vmmc::myrinet

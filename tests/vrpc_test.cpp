@@ -1,0 +1,286 @@
+// Tests for vRPC: XDR codec, SunRPC framing, and end-to-end RPC over the
+// VMMC and UDP transports (§5.4).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "co_test_util.h"
+#include "vmmc/vrpc/udp_transport.h"
+#include "vmmc/vrpc/vmmc_transport.h"
+#include "vmmc/vrpc/vrpc.h"
+#include "vmmc/vrpc/xdr.h"
+
+namespace vmmc::vrpc {
+namespace {
+
+TEST(XdrTest, ScalarRoundTrip) {
+  XdrWriter w;
+  w.PutU32(0xDEADBEEF);
+  w.PutI32(-42);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutBool(true);
+  w.PutBool(false);
+  EXPECT_EQ(w.size() % 4, 0u);
+
+  XdrReader r(w.bytes());
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEF);
+  EXPECT_EQ(r.GetI32(), -42);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.GetBool());
+  EXPECT_FALSE(r.GetBool());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(XdrTest, BigEndianOnTheWire) {
+  XdrWriter w;
+  w.PutU32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[3], 0x04);
+}
+
+TEST(XdrTest, OpaquePaddingTo4Bytes) {
+  for (std::size_t len : {0u, 1u, 2u, 3u, 4u, 5u, 100u}) {
+    XdrWriter w;
+    std::vector<std::uint8_t> data(len, 0x7F);
+    w.PutOpaque(data);
+    EXPECT_EQ(w.size() % 4, 0u) << len;
+    XdrReader r(w.bytes());
+    EXPECT_EQ(r.GetOpaque(), data) << len;
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(XdrTest, StringsAndTruncationDetected) {
+  XdrWriter w;
+  w.PutString("hello vmmc");
+  XdrReader good(w.bytes());
+  EXPECT_EQ(good.GetString(), "hello vmmc");
+
+  auto bytes = w.bytes();
+  bytes.pop_back();
+  XdrReader bad(bytes);
+  (void)bad.GetString();
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(XdrTest, ReadPastEndFlagsError) {
+  XdrReader r({});
+  EXPECT_EQ(r.GetU32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RpcMessageTest, CallRoundTrip) {
+  CallMessage call;
+  call.xid = 777;
+  call.prog = 100003;
+  call.vers = 2;
+  call.proc = 6;
+  call.args = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto wire = EncodeCall(call);
+  auto decoded = DecodeCall(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->xid, 777u);
+  EXPECT_EQ(decoded->prog, 100003u);
+  EXPECT_EQ(decoded->vers, 2u);
+  EXPECT_EQ(decoded->proc, 6u);
+  EXPECT_EQ(decoded->args, call.args);
+}
+
+TEST(RpcMessageTest, ReplyRoundTripAndErrors) {
+  ReplyMessage reply;
+  reply.xid = 9;
+  reply.results = {9, 9, 9, 9};
+  auto wire = EncodeReply(reply);
+  auto decoded = DecodeReply(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->xid, 9u);
+  EXPECT_EQ(decoded->stat, AcceptStat::kSuccess);
+  EXPECT_EQ(decoded->results, reply.results);
+
+  ReplyMessage err;
+  err.xid = 10;
+  err.stat = AcceptStat::kProcUnavail;
+  auto err_decoded = DecodeReply(EncodeReply(err));
+  ASSERT_TRUE(err_decoded.has_value());
+  EXPECT_EQ(err_decoded->stat, AcceptStat::kProcUnavail);
+
+  EXPECT_FALSE(DecodeCall(EncodeReply(reply)).has_value());
+  EXPECT_FALSE(DecodeReply(EncodeCall(CallMessage{})).has_value());
+  EXPECT_FALSE(DecodeCall({}).has_value());
+}
+
+// ---- end-to-end fixtures ----
+
+constexpr std::uint32_t kProg = 0x20000001;
+constexpr std::uint32_t kVers = 1;
+constexpr std::uint32_t kProcEcho = 1;
+constexpr std::uint32_t kProcSum = 2;
+
+void RegisterTestProcs(RpcServer& server, sim::Simulator& sim) {
+  server.Register(kProg, kVers, kProcEcho,
+                  [&sim](std::span<const std::uint8_t> args)
+                      -> sim::Task<Result<std::vector<std::uint8_t>>> {
+                    co_await sim.Delay(0);
+                    co_return std::vector<std::uint8_t>(args.begin(), args.end());
+                  });
+  server.Register(kProg, kVers, kProcSum,
+                  [&sim](std::span<const std::uint8_t> args)
+                      -> sim::Task<Result<std::vector<std::uint8_t>>> {
+                    XdrReader r(args);
+                    const std::uint32_t a = r.GetU32();
+                    const std::uint32_t b = r.GetU32();
+                    if (!r.ok()) {
+                      co_return Result<std::vector<std::uint8_t>>(
+                          InvalidArgument("bad args"));
+                    }
+                    co_await sim.Delay(500);
+                    XdrWriter w;
+                    w.PutU32(a + b);
+                    co_return w.Take();
+                  });
+}
+
+class VrpcVmmcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vmmc_core::ClusterOptions options;
+    options.num_nodes = 2;
+    cluster_ = std::make_unique<vmmc_core::Cluster>(sim_, params_, options);
+    ASSERT_TRUE(cluster_->Boot().ok());
+    server_ = std::make_unique<RpcServer>(params_);
+    RegisterTestProcs(*server_, sim_);
+  }
+
+  sim::Simulator sim_;
+  Params params_;
+  std::unique_ptr<vmmc_core::Cluster> cluster_;
+  std::unique_ptr<RpcServer> server_;
+};
+
+TEST_F(VrpcVmmcTest, SumAndEchoOverVmmcTransport) {
+  bool done = false;
+  std::uint32_t sum = 0;
+  std::vector<std::uint8_t> echoed;
+  std::uint64_t copies = 0;
+
+  auto prog = [&]() -> sim::Process {
+    auto st = co_await VmmcServerTransport::Create(*cluster_, 1, "svc", 2);
+    CO_ASSERT_TRUE(st.ok());
+    server_->Attach(sim_, st.value().get());
+
+    auto ct = co_await VmmcClientTransport::Connect(*cluster_, 0, 1, "svc", 0);
+    CO_ASSERT_TRUE(ct.ok());
+    RpcClient client(params_, sim_, std::move(ct).value());
+
+    XdrWriter w;
+    w.PutU32(40);
+    w.PutU32(2);
+    auto r1 = co_await client.Call(kProg, kVers, kProcSum, w.Take());
+    CO_ASSERT_TRUE(r1.ok());
+    XdrReader rr(r1.value());
+    sum = rr.GetU32();
+
+    std::vector<std::uint8_t> blob(1000);
+    std::iota(blob.begin(), blob.end(), 0);
+    auto r2 = co_await client.Call(kProg, kVers, kProcEcho, blob);
+    CO_ASSERT_TRUE(r2.ok());
+    echoed = r2.value();
+    copies = st.value()->copies_performed();
+
+    // Keep the transport objects alive until the loop below exits.
+    done = true;
+    for (;;) co_await sim_.Delay(sim::Seconds(1));
+  };
+  sim_.Spawn(prog());
+  ASSERT_TRUE(sim_.RunUntil([&] { return done; }, 100'000'000));
+  EXPECT_EQ(sum, 42u);
+  std::vector<std::uint8_t> expect(1000);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(echoed, expect);
+  EXPECT_EQ(server_->calls_served(), 2u);
+  EXPECT_EQ(copies, 2u) << "compat mode copies once per receive (§5.4)";
+}
+
+TEST_F(VrpcVmmcTest, UnknownProcedureRejected) {
+  bool done = false;
+  Status status = OkStatus();
+  auto prog = [&]() -> sim::Process {
+    auto st = co_await VmmcServerTransport::Create(*cluster_, 1, "svc2", 1);
+    CO_ASSERT_TRUE(st.ok());
+    server_->Attach(sim_, st.value().get());
+    auto ct = co_await VmmcClientTransport::Connect(*cluster_, 0, 1, "svc2", 0);
+    CO_ASSERT_TRUE(ct.ok());
+    RpcClient client(params_, sim_, std::move(ct).value());
+    auto r = co_await client.Call(kProg, kVers, 999, {});
+    status = r.status();
+    done = true;
+    for (;;) co_await sim_.Delay(sim::Seconds(1));
+  };
+  sim_.Spawn(prog());
+  ASSERT_TRUE(sim_.RunUntil([&] { return done; }, 100'000'000));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(VrpcVmmcTest, FastPathSkipsTheReceiveCopy) {
+  bool done = false;
+  std::uint64_t copies = 99;
+  auto prog = [&]() -> sim::Process {
+    auto st = co_await VmmcServerTransport::Create(*cluster_, 1, "fast", 1,
+                                                   /*compat=*/false);
+    CO_ASSERT_TRUE(st.ok());
+    server_->Attach(sim_, st.value().get());
+    auto ct = co_await VmmcClientTransport::Connect(*cluster_, 0, 1, "fast", 0);
+    CO_ASSERT_TRUE(ct.ok());
+    RpcClient client(params_, sim_, std::move(ct).value(), /*fast_path=*/true);
+    std::vector<std::uint8_t> blob = {1, 2, 3, 4};
+    auto r = co_await client.Call(kProg, kVers, kProcEcho, blob);
+    CO_ASSERT_TRUE(r.ok());
+    copies = st.value()->copies_performed();
+    done = true;
+    for (;;) co_await sim_.Delay(sim::Seconds(1));
+  };
+  sim_.Spawn(prog());
+  ASSERT_TRUE(sim_.RunUntil([&] { return done; }, 100'000'000));
+  EXPECT_EQ(copies, 0u);
+}
+
+TEST(VrpcUdpTest, SameServerCodeOverUdp) {
+  sim::Simulator sim;
+  Params params;
+  ethernet::Segment segment(sim, params.ethernet);
+  ethernet::Interface& server_if = segment.AddInterface(1);
+  ethernet::Interface& client_if = segment.AddInterface(0);
+
+  RpcServer server(params);
+  RegisterTestProcs(server, sim);
+  UdpServerTransport st(params, sim, server_if);
+  server.Attach(sim, &st);
+
+  bool done = false;
+  std::uint32_t sum = 0;
+  sim::Tick elapsed = 0;
+  auto prog = [&]() -> sim::Process {
+    RpcClient client(params, sim,
+                     std::make_unique<UdpClientTransport>(params, sim, client_if, 1));
+    XdrWriter w;
+    w.PutU32(20);
+    w.PutU32(22);
+    const sim::Tick t0 = sim.now();
+    auto r = co_await client.Call(kProg, kVers, kProcSum, w.Take());
+    elapsed = sim.now() - t0;
+    CO_ASSERT_TRUE(r.ok());
+    XdrReader rr(r.value());
+    sum = rr.GetU32();
+    done = true;
+  };
+  sim.Spawn(prog());
+  ASSERT_TRUE(sim.RunUntil([&] { return done; }, 10'000'000));
+  EXPECT_EQ(sum, 42u);
+  // The UDP path is orders of magnitude slower than vRPC's 66 us.
+  EXPECT_GT(elapsed, 500 * sim::kMicrosecond);
+}
+
+}  // namespace
+}  // namespace vmmc::vrpc
