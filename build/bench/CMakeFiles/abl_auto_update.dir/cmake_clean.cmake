@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_auto_update.dir/abl_auto_update.cpp.o"
+  "CMakeFiles/abl_auto_update.dir/abl_auto_update.cpp.o.d"
+  "abl_auto_update"
+  "abl_auto_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_auto_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_auto_update.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hops.dir/abl_hops.cpp.o"
+  "CMakeFiles/abl_hops.dir/abl_hops.cpp.o.d"
+  "abl_hops"
+  "abl_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multisender.dir/abl_multisender.cpp.o"
+  "CMakeFiles/abl_multisender.dir/abl_multisender.cpp.o.d"
+  "abl_multisender"
+  "abl_multisender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multisender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

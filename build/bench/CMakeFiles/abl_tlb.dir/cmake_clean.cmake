@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tlb.dir/abl_tlb.cpp.o"
+  "CMakeFiles/abl_tlb.dir/abl_tlb.cpp.o.d"
+  "abl_tlb"
+  "abl_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_bandwidth.dir/fig3_bandwidth.cpp.o"
+  "CMakeFiles/fig3_bandwidth.dir/fig3_bandwidth.cpp.o.d"
+  "fig3_bandwidth"
+  "fig3_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_latency_budget.dir/tbl_latency_budget.cpp.o"
+  "CMakeFiles/tbl_latency_budget.dir/tbl_latency_budget.cpp.o.d"
+  "tbl_latency_budget"
+  "tbl_latency_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_latency_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_nic_tradeoffs.dir/tbl_nic_tradeoffs.cpp.o"
+  "CMakeFiles/tbl_nic_tradeoffs.dir/tbl_nic_tradeoffs.cpp.o.d"
+  "tbl_nic_tradeoffs"
+  "tbl_nic_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_nic_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_related_work.dir/tbl_related_work.cpp.o"
+  "CMakeFiles/tbl_related_work.dir/tbl_related_work.cpp.o.d"
+  "tbl_related_work"
+  "tbl_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_vrpc.dir/tbl_vrpc.cpp.o"
+  "CMakeFiles/tbl_vrpc.dir/tbl_vrpc.cpp.o.d"
+  "tbl_vrpc"
+  "tbl_vrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_vrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

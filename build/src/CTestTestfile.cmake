@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("mem")
+subdirs("host")
+subdirs("myrinet")
+subdirs("lanai")
+subdirs("ethernet")
+subdirs("vmmc")
+subdirs("compat")
+subdirs("vrpc")
+subdirs("coll")
+subdirs("dsm")

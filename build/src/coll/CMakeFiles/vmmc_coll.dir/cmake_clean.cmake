@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_coll.dir/communicator.cpp.o"
+  "CMakeFiles/vmmc_coll.dir/communicator.cpp.o.d"
+  "libvmmc_coll.a"
+  "libvmmc_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

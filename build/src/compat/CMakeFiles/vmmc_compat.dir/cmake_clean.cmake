@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_compat.dir/am.cpp.o"
+  "CMakeFiles/vmmc_compat.dir/am.cpp.o.d"
+  "CMakeFiles/vmmc_compat.dir/fm.cpp.o"
+  "CMakeFiles/vmmc_compat.dir/fm.cpp.o.d"
+  "CMakeFiles/vmmc_compat.dir/mapi.cpp.o"
+  "CMakeFiles/vmmc_compat.dir/mapi.cpp.o.d"
+  "CMakeFiles/vmmc_compat.dir/pm.cpp.o"
+  "CMakeFiles/vmmc_compat.dir/pm.cpp.o.d"
+  "CMakeFiles/vmmc_compat.dir/shrimp.cpp.o"
+  "CMakeFiles/vmmc_compat.dir/shrimp.cpp.o.d"
+  "libvmmc_compat.a"
+  "libvmmc_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_dsm.dir/dsm.cpp.o"
+  "CMakeFiles/vmmc_dsm.dir/dsm.cpp.o.d"
+  "libvmmc_dsm.a"
+  "libvmmc_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_ethernet.dir/ethernet.cpp.o"
+  "CMakeFiles/vmmc_ethernet.dir/ethernet.cpp.o.d"
+  "libvmmc_ethernet.a"
+  "libvmmc_ethernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_ethernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_host.dir/host.cpp.o"
+  "CMakeFiles/vmmc_host.dir/host.cpp.o.d"
+  "libvmmc_host.a"
+  "libvmmc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lanai/nic_card.cpp" "src/lanai/CMakeFiles/vmmc_lanai.dir/nic_card.cpp.o" "gcc" "src/lanai/CMakeFiles/vmmc_lanai.dir/nic_card.cpp.o.d"
+  "/root/repo/src/lanai/sram.cpp" "src/lanai/CMakeFiles/vmmc_lanai.dir/sram.cpp.o" "gcc" "src/lanai/CMakeFiles/vmmc_lanai.dir/sram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/vmmc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/myrinet/CMakeFiles/vmmc_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vmmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

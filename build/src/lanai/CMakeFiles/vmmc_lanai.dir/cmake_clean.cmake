@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_lanai.dir/nic_card.cpp.o"
+  "CMakeFiles/vmmc_lanai.dir/nic_card.cpp.o.d"
+  "CMakeFiles/vmmc_lanai.dir/sram.cpp.o"
+  "CMakeFiles/vmmc_lanai.dir/sram.cpp.o.d"
+  "libvmmc_lanai.a"
+  "libvmmc_lanai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_lanai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

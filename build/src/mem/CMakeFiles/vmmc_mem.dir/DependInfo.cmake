@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cpp" "src/mem/CMakeFiles/vmmc_mem.dir/address_space.cpp.o" "gcc" "src/mem/CMakeFiles/vmmc_mem.dir/address_space.cpp.o.d"
+  "/root/repo/src/mem/physical_memory.cpp" "src/mem/CMakeFiles/vmmc_mem.dir/physical_memory.cpp.o" "gcc" "src/mem/CMakeFiles/vmmc_mem.dir/physical_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmmc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_mem.dir/address_space.cpp.o"
+  "CMakeFiles/vmmc_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/vmmc_mem.dir/physical_memory.cpp.o"
+  "CMakeFiles/vmmc_mem.dir/physical_memory.cpp.o.d"
+  "libvmmc_mem.a"
+  "libvmmc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_myrinet.dir/crc8.cpp.o"
+  "CMakeFiles/vmmc_myrinet.dir/crc8.cpp.o.d"
+  "CMakeFiles/vmmc_myrinet.dir/fabric.cpp.o"
+  "CMakeFiles/vmmc_myrinet.dir/fabric.cpp.o.d"
+  "libvmmc_myrinet.a"
+  "libvmmc_myrinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vmmc_myrinet.
+# This may be replaced when dependencies are built.

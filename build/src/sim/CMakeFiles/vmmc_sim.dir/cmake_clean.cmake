@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_sim.dir/rng.cpp.o"
+  "CMakeFiles/vmmc_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/vmmc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/vmmc_sim.dir/simulator.cpp.o.d"
+  "libvmmc_sim.a"
+  "libvmmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_util.dir/log.cpp.o"
+  "CMakeFiles/vmmc_util.dir/log.cpp.o.d"
+  "CMakeFiles/vmmc_util.dir/stats.cpp.o"
+  "CMakeFiles/vmmc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vmmc_util.dir/status.cpp.o"
+  "CMakeFiles/vmmc_util.dir/status.cpp.o.d"
+  "libvmmc_util.a"
+  "libvmmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmmc/api.cpp" "src/vmmc/CMakeFiles/vmmc_core.dir/api.cpp.o" "gcc" "src/vmmc/CMakeFiles/vmmc_core.dir/api.cpp.o.d"
+  "/root/repo/src/vmmc/cluster.cpp" "src/vmmc/CMakeFiles/vmmc_core.dir/cluster.cpp.o" "gcc" "src/vmmc/CMakeFiles/vmmc_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/vmmc/daemon.cpp" "src/vmmc/CMakeFiles/vmmc_core.dir/daemon.cpp.o" "gcc" "src/vmmc/CMakeFiles/vmmc_core.dir/daemon.cpp.o.d"
+  "/root/repo/src/vmmc/driver.cpp" "src/vmmc/CMakeFiles/vmmc_core.dir/driver.cpp.o" "gcc" "src/vmmc/CMakeFiles/vmmc_core.dir/driver.cpp.o.d"
+  "/root/repo/src/vmmc/lcp.cpp" "src/vmmc/CMakeFiles/vmmc_core.dir/lcp.cpp.o" "gcc" "src/vmmc/CMakeFiles/vmmc_core.dir/lcp.cpp.o.d"
+  "/root/repo/src/vmmc/mapper.cpp" "src/vmmc/CMakeFiles/vmmc_core.dir/mapper.cpp.o" "gcc" "src/vmmc/CMakeFiles/vmmc_core.dir/mapper.cpp.o.d"
+  "/root/repo/src/vmmc/page_tables.cpp" "src/vmmc/CMakeFiles/vmmc_core.dir/page_tables.cpp.o" "gcc" "src/vmmc/CMakeFiles/vmmc_core.dir/page_tables.cpp.o.d"
+  "/root/repo/src/vmmc/sw_tlb.cpp" "src/vmmc/CMakeFiles/vmmc_core.dir/sw_tlb.cpp.o" "gcc" "src/vmmc/CMakeFiles/vmmc_core.dir/sw_tlb.cpp.o.d"
+  "/root/repo/src/vmmc/wire.cpp" "src/vmmc/CMakeFiles/vmmc_core.dir/wire.cpp.o" "gcc" "src/vmmc/CMakeFiles/vmmc_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ethernet/CMakeFiles/vmmc_ethernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/vmmc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/lanai/CMakeFiles/vmmc_lanai.dir/DependInfo.cmake"
+  "/root/repo/build/src/myrinet/CMakeFiles/vmmc_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vmmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

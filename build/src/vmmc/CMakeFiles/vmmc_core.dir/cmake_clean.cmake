@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_core.dir/api.cpp.o"
+  "CMakeFiles/vmmc_core.dir/api.cpp.o.d"
+  "CMakeFiles/vmmc_core.dir/cluster.cpp.o"
+  "CMakeFiles/vmmc_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/vmmc_core.dir/daemon.cpp.o"
+  "CMakeFiles/vmmc_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/vmmc_core.dir/driver.cpp.o"
+  "CMakeFiles/vmmc_core.dir/driver.cpp.o.d"
+  "CMakeFiles/vmmc_core.dir/lcp.cpp.o"
+  "CMakeFiles/vmmc_core.dir/lcp.cpp.o.d"
+  "CMakeFiles/vmmc_core.dir/mapper.cpp.o"
+  "CMakeFiles/vmmc_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/vmmc_core.dir/page_tables.cpp.o"
+  "CMakeFiles/vmmc_core.dir/page_tables.cpp.o.d"
+  "CMakeFiles/vmmc_core.dir/sw_tlb.cpp.o"
+  "CMakeFiles/vmmc_core.dir/sw_tlb.cpp.o.d"
+  "CMakeFiles/vmmc_core.dir/wire.cpp.o"
+  "CMakeFiles/vmmc_core.dir/wire.cpp.o.d"
+  "libvmmc_core.a"
+  "libvmmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_vrpc.dir/rpc_message.cpp.o"
+  "CMakeFiles/vmmc_vrpc.dir/rpc_message.cpp.o.d"
+  "CMakeFiles/vmmc_vrpc.dir/udp_transport.cpp.o"
+  "CMakeFiles/vmmc_vrpc.dir/udp_transport.cpp.o.d"
+  "CMakeFiles/vmmc_vrpc.dir/vmmc_transport.cpp.o"
+  "CMakeFiles/vmmc_vrpc.dir/vmmc_transport.cpp.o.d"
+  "CMakeFiles/vmmc_vrpc.dir/vrpc.cpp.o"
+  "CMakeFiles/vmmc_vrpc.dir/vrpc.cpp.o.d"
+  "CMakeFiles/vmmc_vrpc.dir/xdr.cpp.o"
+  "CMakeFiles/vmmc_vrpc.dir/xdr.cpp.o.d"
+  "libvmmc_vrpc.a"
+  "libvmmc_vrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_vrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vmmc_vrpc.
+# This may be replaced when dependencies are built.

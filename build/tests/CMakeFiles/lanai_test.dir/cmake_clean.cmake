@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lanai_test.dir/lanai_test.cpp.o"
+  "CMakeFiles/lanai_test.dir/lanai_test.cpp.o.d"
+  "lanai_test"
+  "lanai_test.pdb"
+  "lanai_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lanai_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem_test.cpp" "tests/CMakeFiles/mem_test.dir/mem_test.cpp.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vrpc/CMakeFiles/vmmc_vrpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/vmmc_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/vmmc_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compat/CMakeFiles/vmmc_compat.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmmc/CMakeFiles/vmmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lanai/CMakeFiles/vmmc_lanai.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/vmmc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vmmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/myrinet/CMakeFiles/vmmc_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ethernet/CMakeFiles/vmmc_ethernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

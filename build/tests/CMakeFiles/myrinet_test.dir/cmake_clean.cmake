@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myrinet_test.dir/myrinet_test.cpp.o"
+  "CMakeFiles/myrinet_test.dir/myrinet_test.cpp.o.d"
+  "myrinet_test"
+  "myrinet_test.pdb"
+  "myrinet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myrinet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

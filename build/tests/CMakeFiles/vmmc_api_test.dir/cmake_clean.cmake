@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_api_test.dir/vmmc_api_test.cpp.o"
+  "CMakeFiles/vmmc_api_test.dir/vmmc_api_test.cpp.o.d"
+  "vmmc_api_test"
+  "vmmc_api_test.pdb"
+  "vmmc_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

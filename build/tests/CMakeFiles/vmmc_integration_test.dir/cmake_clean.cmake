@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_integration_test.dir/vmmc_integration_test.cpp.o"
+  "CMakeFiles/vmmc_integration_test.dir/vmmc_integration_test.cpp.o.d"
+  "vmmc_integration_test"
+  "vmmc_integration_test.pdb"
+  "vmmc_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_unit_test.dir/vmmc_unit_test.cpp.o"
+  "CMakeFiles/vmmc_unit_test.dir/vmmc_unit_test.cpp.o.d"
+  "vmmc_unit_test"
+  "vmmc_unit_test.pdb"
+  "vmmc_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

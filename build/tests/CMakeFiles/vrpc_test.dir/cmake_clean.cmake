@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrpc_test.dir/vrpc_test.cpp.o"
+  "CMakeFiles/vrpc_test.dir/vrpc_test.cpp.o.d"
+  "vrpc_test"
+  "vrpc_test.pdb"
+  "vrpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/myrinet_test[1]_include.cmake")
+include("/root/repo/build/tests/lanai_test[1]_include.cmake")
+include("/root/repo/build/tests/vmmc_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/vmmc_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ethernet_test[1]_include.cmake")
+include("/root/repo/build/tests/compat_test[1]_include.cmake")
+include("/root/repo/build/tests/vrpc_test[1]_include.cmake")
+include("/root/repo/build/tests/task_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/coll_test[1]_include.cmake")
+include("/root/repo/build/tests/vmmc_api_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/dsm_test[1]_include.cmake")
