@@ -37,10 +37,62 @@ int main() {
 
   // Measured one-word user-to-user latency.
   TwoNodeFixture fx;
+
+  // Where the time actually goes, from the metrics registry: snapshot the
+  // relevant counters, run the measurement, and charge the deltas to the
+  // ping-pong messages. Counter totals cover both nodes and directions, so
+  // dividing by the number of one-way messages gives per-message budgets.
+  obs::Registry& m = fx.sim().metrics();
+  struct Snap {
+    double pio, lanai, host_dma, net_tx, wire_ser, wire_blocked, msgs;
+  };
+  auto snap = [&m]() -> Snap {
+    return {static_cast<double>(m.SumCounters("node", "host.pio_post_ns")),
+            static_cast<double>(m.SumCounters("node", "lanai.exec_ns")),
+            static_cast<double>(m.SumCounters("node", "dma.host.busy_ns")),
+            static_cast<double>(m.SumCounters("node", "dma.nettx.busy_ns")),
+            static_cast<double>(m.SumCounters("fabric.link", "ser_ns")),
+            static_cast<double>(m.SumCounters("fabric.link", "blocked_ns")),
+            static_cast<double>(m.SumCounters("node", "lcp.sends"))};
+  };
+  const Snap before = snap();
   PingPongResult r;
   RunPingPong(fx, 4, 400, r);
+  const Snap after = snap();
   table.AddRow({"measured one-word VMMC latency", FormatDouble(r.one_way_us, 2),
                 "9.8"});
   table.Print();
+
+  const double msgs = after.msgs - before.msgs;
+  auto per_msg_us = [msgs](double b, double a) {
+    return (a - b) / msgs / 1000.0;
+  };
+  const double pio = per_msg_us(before.pio, after.pio);
+  const double lanai = per_msg_us(before.lanai, after.lanai);
+  const double host_dma = per_msg_us(before.host_dma, after.host_dma);
+  const double net_tx = per_msg_us(before.net_tx, after.net_tx);
+  const double wire = per_msg_us(before.wire_ser, after.wire_ser) +
+                      per_msg_us(before.wire_blocked, after.wire_blocked);
+  const double accounted = pio + lanai + host_dma + net_tx + wire;
+
+  std::printf("\nMeasured decomposition (metrics registry, per message, %.0f "
+              "messages)\n\n", msgs);
+  Table budget({"component", "us/msg", "share"});
+  auto share = [&](double v) {
+    return FormatDouble(100.0 * v / r.one_way_us, 1) + "%";
+  };
+  budget.AddRow({"host: post via PIO", FormatDouble(pio, 2), share(pio)});
+  budget.AddRow({"LANai: LCP execution", FormatDouble(lanai, 2), share(lanai)});
+  budget.AddRow({"host DMA engine busy", FormatDouble(host_dma, 2),
+                 share(host_dma)});
+  budget.AddRow({"net-tx DMA engine busy", FormatDouble(net_tx, 2),
+                 share(net_tx)});
+  budget.AddRow({"wire: serialization + blocking", FormatDouble(wire, 2),
+                 share(wire)});
+  budget.AddRow({"other (latencies, spin, queueing)",
+                 FormatDouble(r.one_way_us - accounted, 2),
+                 share(r.one_way_us - accounted)});
+  budget.AddRow({"one-way latency", FormatDouble(r.one_way_us, 2), "100.0%"});
+  budget.Print();
   return 0;
 }

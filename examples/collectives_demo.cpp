@@ -3,10 +3,14 @@
 // message-passing workload (§1) a commodity-cluster server would run.
 //
 // Build & run:   ./build/examples/collectives_demo
+//
+// Set VMMC_TRACE=out.json to record a Chrome/Perfetto trace of all six
+// nodes' LCPs, DMA engines and drivers.
 #include <cstdio>
 #include <vector>
 
 #include "vmmc/coll/communicator.h"
+#include "vmmc/obs/trace.h"
 
 using namespace vmmc;
 using namespace vmmc::coll;
@@ -78,6 +82,7 @@ sim::Process RunRank(sim::Simulator& sim, vmmc_core::Cluster& cluster,
 
 int main() {
   sim::Simulator sim;
+  obs::TraceEnvGuard trace(sim.tracer());  // VMMC_TRACE=file.json to record
   Params params;
   vmmc_core::ClusterOptions options;
   options.num_nodes = kRanks;

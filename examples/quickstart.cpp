@@ -8,10 +8,14 @@
 // handler (§2).
 //
 // Build & run:   ./build/examples/quickstart
+//
+// Set VMMC_TRACE=out.json to record a Chrome/Perfetto trace of the run
+// (load at https://ui.perfetto.dev or chrome://tracing).
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "vmmc/obs/trace.h"
 #include "vmmc/vmmc/cluster.h"
 
 using namespace vmmc;
@@ -90,6 +94,7 @@ sim::Process Sender(sim::Simulator& sim, Endpoint& ep) {
 
 int main() {
   sim::Simulator sim;
+  obs::TraceEnvGuard trace(sim.tracer());  // VMMC_TRACE=file.json to record
   Params params;  // the paper's calibrated platform
   ClusterOptions options;
   options.num_nodes = 2;

@@ -14,6 +14,7 @@
 #include "vmmc/host/machine.h"
 #include "vmmc/lanai/sram.h"
 #include "vmmc/myrinet/fabric.h"
+#include "vmmc/obs/metrics.h"
 #include "vmmc/params.h"
 #include "vmmc/sim/process.h"
 #include "vmmc/sim/simulator.h"
@@ -33,15 +34,20 @@ class LanaiCpu {
   // Executes LCP work costing `t`.
   sim::Process Exec(sim::Tick t) {
     busy_ += t;
+    if (exec_ns_m_ != nullptr) exec_ns_m_->Inc(static_cast<std::uint64_t>(t));
     co_await sim_.Delay(t);
   }
 
   sim::Tick busy_time() const { return busy_; }
 
+  // Mirrors busy time into a registry counter (node<N>.lanai.exec_ns).
+  void BindMetrics(obs::Counter* exec_ns) { exec_ns_m_ = exec_ns; }
+
  private:
   sim::Simulator& sim_;
   const LanaiParams& params_;
   sim::Tick busy_ = 0;
+  obs::Counter* exec_ns_m_ = nullptr;
 };
 
 // A packet as handed to the LCP after the receive hardware ran its CRC
@@ -144,6 +150,24 @@ class NicCard : public myrinet::Endpoint {
   std::uint64_t crc_errors_ = 0;
   std::uint64_t packets_received_ = 0;
   std::uint64_t packets_sent_ = 0;
+
+  // Observability: bound when the NIC learns its id (AttachToFabric);
+  // a NIC never attached to a fabric (unit tests) reports nothing.
+  struct EngineObs {
+    obs::Counter* ops = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* busy_ns = nullptr;
+    obs::Gauge* utilization = nullptr;
+    int track = -1;
+  };
+  void BindObs();
+  void FinishEngineOp(EngineObs& e, sim::Tick t0, std::uint64_t bytes);
+  EngineObs host_dma_obs_;
+  EngineObs net_tx_obs_;
+  obs::Counter* packets_sent_m_ = nullptr;
+  obs::Counter* packets_received_m_ = nullptr;
+  obs::Counter* crc_errors_m_ = nullptr;
+  bool obs_bound_ = false;
 };
 
 }  // namespace vmmc::lanai

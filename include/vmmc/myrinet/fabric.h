@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "vmmc/myrinet/packet.h"
+#include "vmmc/obs/metrics.h"
 #include "vmmc/params.h"
 #include "vmmc/sim/rng.h"
 #include "vmmc/sim/simulator.h"
@@ -34,8 +35,7 @@ class Endpoint {
 // Unidirectional link.
 class Link {
  public:
-  Link(sim::Simulator& sim, const NetParams& params, sim::Rng& rng)
-      : sim_(sim), params_(params), rng_(rng) {}
+  Link(sim::Simulator& sim, const NetParams& params, sim::Rng& rng);
 
   void set_destination(Endpoint* dst) { dst_ = dst; }
   Endpoint* destination() const { return dst_; }
@@ -47,6 +47,14 @@ class Link {
 
   std::uint64_t packets_sent() const { return packets_; }
   std::uint64_t bytes_sent() const { return bytes_; }
+  // Total time packets waited for the wire (head-of-line occupancy).
+  sim::Tick blocked_time() const { return blocked_; }
+
+  // Wires per-link accounting into registry counters
+  // (fabric.link<i>.{packets,bytes,ser_ns,blocked_ns}); unbound links
+  // count into internal sinks.
+  void BindMetrics(obs::Counter* packets, obs::Counter* bytes,
+                   obs::Counter* ser_ns, obs::Counter* blocked_ns);
 
  private:
   sim::Simulator& sim_;
@@ -56,6 +64,11 @@ class Link {
   sim::Tick busy_until_ = 0;
   std::uint64_t packets_ = 0;
   std::uint64_t bytes_ = 0;
+  sim::Tick blocked_ = 0;
+  obs::Counter* packets_m_;
+  obs::Counter* bytes_m_;
+  obs::Counter* ser_ns_m_;
+  obs::Counter* blocked_ns_m_;
 };
 
 // 8-port (configurable) crossbar switch. Consumes the first route byte to
@@ -78,6 +91,11 @@ class Switch : public Endpoint {
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t forwarded() const { return forwarded_; }
 
+  void BindMetrics(obs::Counter* forwarded, obs::Counter* dropped) {
+    forwarded_m_ = forwarded;
+    dropped_m_ = dropped;
+  }
+
  private:
   sim::Simulator& sim_;
   const NetParams& params_;
@@ -85,6 +103,8 @@ class Switch : public Endpoint {
   std::vector<Link*> out_links_;
   std::uint64_t dropped_ = 0;
   std::uint64_t forwarded_ = 0;
+  obs::Counter* forwarded_m_ = nullptr;
+  obs::Counter* dropped_m_ = nullptr;
 };
 
 // The fabric: a container of switches, NIC attachment points and links,

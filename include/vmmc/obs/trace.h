@@ -1,0 +1,143 @@
+// Span tracer: begin/end events stamped with Simulator::now(), exported
+// as Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+//
+// Tracks model execution contexts (one per LCP, DMA engine, driver...);
+// they map to Chrome "threads". Within one track, B/E events must nest —
+// which they naturally do when all spans on the track come from one
+// coroutine stack. For work that overlaps on a track (e.g. concurrent RPC
+// round trips) use the async API (AsyncBegin/AsyncEnd with an id), whose
+// events are allowed to interleave.
+//
+// Recording is off by default; when disabled every call is a single
+// predictable branch. All timestamps are simulated time, so traces are
+// byte-identical across runs of the same workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vmmc/sim/time.h"
+#include "vmmc/util/status.h"
+
+namespace vmmc::obs {
+
+class Tracer {
+ public:
+  // `now` points at the owning Simulator's clock; the tracer reads it at
+  // every event so callers never pass timestamps.
+  explicit Tracer(const sim::Tick* now) : now_(now) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  // Returns a dense track id (Chrome tid). Registering the same name
+  // twice returns the same id; ids follow registration order, which is
+  // deterministic for a deterministic program.
+  int RegisterTrack(const std::string& name);
+
+  // Scoped (synchronous) spans: must nest per track.
+  void Begin(int track, std::string_view name);
+  void End(int track);
+  // Zero-duration marker.
+  void Instant(int track, std::string_view name);
+
+  // Async spans: may overlap on a track; matched by (name, id). Explicit
+  // begin/end is coroutine-friendly — a span can start before a co_await
+  // and end in a different resume without any object held across.
+  void AsyncBegin(int track, std::string_view name, std::uint64_t id);
+  void AsyncEnd(int track, std::string_view name, std::uint64_t id);
+
+  std::size_t event_count() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // RAII helper for synchronous spans. Inert when default-constructed or
+  // when tracing was disabled at Scope() time; safe to hold across
+  // co_await (it lives in the coroutine frame, and End() stamps the sim
+  // time at which the frame actually finishes the scope).
+  class [[nodiscard]] Span {
+   public:
+    Span() = default;
+    Span(Tracer* tracer, int track) : tracer_(tracer), track_(track) {}
+    Span(Span&& o) noexcept : tracer_(o.tracer_), track_(o.track_) {
+      o.tracer_ = nullptr;
+    }
+    Span& operator=(Span&& o) noexcept {
+      if (this != &o) {
+        End();
+        tracer_ = o.tracer_;
+        track_ = o.track_;
+        o.tracer_ = nullptr;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { End(); }
+
+    void End() {
+      if (tracer_ != nullptr) {
+        tracer_->End(track_);
+        tracer_ = nullptr;
+      }
+    }
+
+   private:
+    Tracer* tracer_ = nullptr;
+    int track_ = 0;
+  };
+
+  // Begins a span and returns its closer; inert if disabled.
+  Span Scope(int track, std::string_view name) {
+    if (!enabled_) return Span();
+    Begin(track, name);
+    return Span(this, track);
+  }
+
+  // Chrome trace-event JSON: {"displayTimeUnit":"ns","traceEvents":[...]}.
+  // Timestamps are microseconds with nanosecond precision.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  struct TraceEvent {
+    sim::Tick ts;
+    std::int32_t track;
+    char phase;        // 'B','E','i','b','e'
+    std::uint64_t id;  // async spans only
+    std::string name;
+  };
+
+  void Record(char phase, int track, std::string_view name,
+              std::uint64_t id = 0);
+
+  const sim::Tick* now_;
+  bool enabled_ = false;
+  std::vector<std::string> tracks_;
+  std::vector<TraceEvent> events_;
+};
+
+// Wires the VMMC_TRACE environment variable to a Tracer: if VMMC_TRACE
+// names a file, tracing is enabled at construction and the Chrome-trace
+// JSON is written there at destruction. Usage in a main():
+//   obs::TraceEnvGuard trace(sim.tracer());
+class TraceEnvGuard {
+ public:
+  explicit TraceEnvGuard(Tracer& tracer);
+  ~TraceEnvGuard();
+  TraceEnvGuard(const TraceEnvGuard&) = delete;
+  TraceEnvGuard& operator=(const TraceEnvGuard&) = delete;
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  Tracer& tracer_;
+  std::string path_;
+};
+
+}  // namespace vmmc::obs

@@ -14,6 +14,8 @@
 #include <queue>
 #include <vector>
 
+#include "vmmc/obs/metrics.h"
+#include "vmmc/obs/trace.h"
 #include "vmmc/sim/process.h"
 #include "vmmc/sim/time.h"
 
@@ -21,11 +23,19 @@ namespace vmmc::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Tick now() const { return now_; }
+
+  // Observability (see include/vmmc/obs/): every component reachable from
+  // this simulator reports into one registry and one tracer, so a whole
+  // run snapshots / exports from a single place.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
   std::uint64_t events_processed() const { return processed_; }
   bool empty() const { return queue_.empty(); }
 
@@ -95,6 +105,8 @@ class Simulator {
   Tick now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
+  obs::Registry metrics_;
+  obs::Tracer tracer_{&now_};
 };
 
 }  // namespace vmmc::sim

@@ -2,6 +2,7 @@
 // tracing only; benches and tests run with logging off by default.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -17,6 +18,14 @@ void SetLogLevel(LogLevel level);
 
 // Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; defaults to kWarn.
 LogLevel ParseLogLevel(std::string_view name);
+
+// Simulation-time log context. When a clock is registered (the Simulator
+// registers its own on construction), every EmitLog line carries the
+// current simulated nanosecond — "[@123456ns]" — so log lines correlate
+// with trace events. The timestamp is simulated, never wall clock, so
+// logs stay deterministic. Pass nullptr to clear.
+void SetLogSimClock(const std::int64_t* now);
+const std::int64_t* GetLogSimClock();
 
 namespace detail {
 void EmitLog(LogLevel level, std::string_view component, const std::string& msg);

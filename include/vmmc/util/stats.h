@@ -18,7 +18,8 @@ class OnlineStats {
   double mean() const { return count_ ? mean_ : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
-  double variance() const;  // population variance
+  double variance() const;         // population variance (0 when empty)
+  double sample_variance() const;  // Bessel-corrected (0 for < 2 samples)
   double stddev() const;
 
  private:

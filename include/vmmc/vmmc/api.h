@@ -136,6 +136,10 @@ class Endpoint {
   std::unordered_map<ExportId, NotificationHandler> handlers_;
   std::uint64_t notifications_received_ = 0;
   std::uint64_t deferred_send_errors_ = 0;
+
+  // Host-side posting cost, for the latency budget (node<N>.host.*).
+  obs::Counter* send_posts_m_ = nullptr;
+  obs::Counter* pio_post_ns_m_ = nullptr;
 };
 
 }  // namespace vmmc::vmmc_core

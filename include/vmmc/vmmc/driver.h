@@ -49,6 +49,9 @@ class VmmcDriver {
 
  private:
   sim::Process HandleInterrupt();
+  // Lazy: the node id is only known once the NIC is attached, which can be
+  // after driver Install in the boot sequence.
+  void EnsureObs();
 
   const Params& params_;
   host::Kernel& kernel_;
@@ -59,6 +62,11 @@ class VmmcDriver {
   std::uint64_t tlb_fills_ = 0;
   std::uint64_t pages_pinned_ = 0;
   std::uint64_t notifications_delivered_ = 0;
+
+  obs::Counter* tlb_fills_m_ = nullptr;
+  obs::Counter* pages_pinned_m_ = nullptr;
+  obs::Counter* notifications_m_ = nullptr;
+  int track_ = -1;  // "node<N>.driver" span track
 };
 
 }  // namespace vmmc::vmmc_core

@@ -28,6 +28,8 @@
 #include "vmmc/host/kernel.h"
 #include "vmmc/lanai/nic_card.h"
 #include "vmmc/myrinet/packet.h"
+#include "vmmc/obs/metrics.h"
+#include "vmmc/obs/trace.h"
 #include "vmmc/params.h"
 #include "vmmc/sim/sync.h"
 #include "vmmc/sim/task.h"
@@ -165,6 +167,9 @@ class VmmcLcp : public lanai::Lcp {
   // True once the main loop has initialized its SRAM structures.
   bool running() const { return running_; }
 
+  // Node id (== NIC id) once running; -1 before.
+  int node_id() const { return nic_ != nullptr ? nic_->nic_id() : -1; }
+
  private:
   // Starts a freshly picked-up request: full processing for short sends,
   // an ActiveLongSend for long ones.
@@ -205,6 +210,31 @@ class VmmcLcp : public lanai::Lcp {
   };
   std::unique_ptr<sim::Mailbox<TxItem>> tx_box_;
   std::unique_ptr<sim::Semaphore> staging_;  // 2 chunk staging buffers
+
+  // Observability (node<N>.lcp.* / node<N>.tlb.*), bound in Run once the
+  // node id is known. The raw Stats struct stays the cheap test-facing
+  // view; the registry is the cross-run, dumpable one.
+  struct Obs {
+    obs::Counter* sends = nullptr;
+    obs::Counter* chunks_sent = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* chunks_received = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* tlb_miss_interrupts = nullptr;
+    obs::Counter* protection_violations = nullptr;
+    obs::Counter* crc_drops = nullptr;
+    obs::Counter* notifications = nullptr;
+    obs::Gauge* send_queue_depth = nullptr;
+    obs::Histo* host_dma_ns = nullptr;   // per-chunk host-DMA phase
+    obs::Histo* translate_ns = nullptr;  // per-chunk source translation
+    obs::Counter* tlb_hits = nullptr;
+    obs::Counter* tlb_misses = nullptr;
+    obs::Counter* tlb_evictions = nullptr;
+    int track = -1;  // "node<N>.lcp" span track
+  };
+  void BindObs();
+  void UpdateQueueDepth();
+  Obs obs_;
 
   bool running_ = false;
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "vmmc/mem/types.h"
+#include "vmmc/obs/metrics.h"
 
 namespace vmmc::vmmc_core {
 
@@ -15,6 +16,13 @@ class SwTlb {
  public:
   // `total_entries` must be a multiple of `ways`.
   SwTlb(std::uint32_t total_entries, std::uint32_t ways);
+
+  // Points hit/miss/eviction accounting at registry counters (typically
+  // node<N>.tlb.{hit,miss,eviction}, shared by every process on the NIC).
+  // Unbound TLBs count into internal sinks, so the hot path never
+  // branches on whether metrics are wired.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions);
 
   std::uint32_t capacity() const {
     return static_cast<std::uint32_t>(sets_.size());
@@ -34,6 +42,7 @@ class SwTlb {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
   std::uint32_t valid_entries() const;
 
  private:
@@ -53,6 +62,10 @@ class SwTlb {
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  obs::Counter* hits_m_;
+  obs::Counter* misses_m_;
+  obs::Counter* evictions_m_;
 };
 
 }  // namespace vmmc::vmmc_core

@@ -20,6 +20,8 @@
 #include <memory>
 #include <vector>
 
+#include "vmmc/obs/metrics.h"
+#include "vmmc/obs/trace.h"
 #include "vmmc/params.h"
 #include "vmmc/sim/process.h"
 #include "vmmc/sim/simulator.h"
@@ -96,6 +98,12 @@ class RpcClient {
   std::unique_ptr<ClientTransport> transport_;
   bool fast_path_;
   std::uint32_t next_xid_ = 1;
+
+  // Round-trip accounting (vrpc.client.*); overlapping calls show up as
+  // async spans keyed by xid. Bound lazily on the first Call.
+  obs::Counter* calls_m_ = nullptr;
+  obs::Histo* rtt_us_m_ = nullptr;
+  int track_ = -1;
 };
 
 }  // namespace vmmc::vrpc

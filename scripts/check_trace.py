@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a binary's VMMC_TRACE output.
+
+Runs the given command twice with VMMC_TRACE pointed at a scratch file and
+checks that:
+  1. the emitted file parses as Chrome trace-event JSON
+     ({"traceEvents": [...]} with ph/ts/pid/tid on every event);
+  2. it contains at least one complete span (a matching B/E pair on one
+     track, or a matching async b/e pair);
+  3. the two runs produce byte-identical traces (the simulator is
+     deterministic, so the trace must be too).
+
+Usage: check_trace.py <output-dir> <command> [args...]
+Exit status 0 on success; diagnostics on stderr otherwise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def fail(msg):
+    print("check_trace: FAIL: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def run_traced(cmd, trace_path):
+    env = dict(os.environ)
+    env["VMMC_TRACE"] = trace_path
+    proc = subprocess.run(cmd, env=env, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL, timeout=300)
+    if proc.returncode != 0:
+        fail("command %r exited with %d" % (cmd, proc.returncode))
+    if not os.path.exists(trace_path):
+        fail("command %r did not write %s" % (cmd, trace_path))
+    with open(trace_path, "rb") as f:
+        return f.read()
+
+
+def validate(raw):
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        fail("trace is not valid JSON: %s" % e)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("missing top-level traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    open_spans = {}   # tid -> depth of open B spans
+    open_async = {}   # (name, id) -> count
+    complete = 0
+    for i, ev in enumerate(events):
+        for field in ("ph", "pid", "tid"):
+            if field not in ev:
+                fail("event %d lacks %r: %r" % (i, field, ev))
+        ph = ev["ph"]
+        if ph != "M" and "ts" not in ev:
+            fail("event %d lacks 'ts': %r" % (i, ev))
+        tid = ev["tid"]
+        if ph == "B":
+            open_spans[tid] = open_spans.get(tid, 0) + 1
+        elif ph == "E":
+            if open_spans.get(tid, 0) <= 0:
+                fail("event %d: E without open B on tid %s" % (i, tid))
+            open_spans[tid] -= 1
+            complete += 1
+        elif ph == "b":
+            key = (ev.get("name"), ev.get("id"))
+            open_async[key] = open_async.get(key, 0) + 1
+        elif ph == "e":
+            key = (ev.get("name"), ev.get("id"))
+            if open_async.get(key, 0) <= 0:
+                fail("event %d: async end without begin: %r" % (i, ev))
+            open_async[key] -= 1
+            complete += 1
+        elif ph not in ("M", "i"):
+            fail("event %d: unexpected phase %r" % (i, ph))
+    if complete < 1:
+        fail("no complete span in %d events" % len(events))
+    return complete, len(events)
+
+
+def main():
+    if len(sys.argv) < 3:
+        fail("usage: check_trace.py <output-dir> <command> [args...]")
+    outdir = sys.argv[1]
+    cmd = sys.argv[2:]
+    os.makedirs(outdir, exist_ok=True)
+    name = os.path.basename(cmd[0])
+    path1 = os.path.join(outdir, name + ".trace1.json")
+    path2 = os.path.join(outdir, name + ".trace2.json")
+
+    raw1 = run_traced(cmd, path1)
+    complete, total = validate(raw1)
+    raw2 = run_traced(cmd, path2)
+    if raw1 != raw2:
+        fail("two identical runs produced different traces "
+             "(%d vs %d bytes)" % (len(raw1), len(raw2)))
+
+    print("check_trace: OK: %d events, %d complete spans, deterministic"
+          % (total, complete))
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

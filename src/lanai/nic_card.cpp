@@ -1,6 +1,7 @@
 #include "vmmc/lanai/nic_card.h"
 
 #include <cassert>
+#include <string>
 
 namespace vmmc::lanai {
 
@@ -8,8 +9,46 @@ Status NicCard::AttachToFabric(int switch_id, int port) {
   if (nic_id_ >= 0) return FailedPrecondition("already attached");
   nic_id_ = fabric_.AddNic(this);
   Status s = fabric_.ConnectNic(nic_id_, switch_id, port);
-  if (!s.ok()) nic_id_ = -1;
+  if (!s.ok()) {
+    nic_id_ = -1;
+    return s;
+  }
+  BindObs();
   return s;
+}
+
+void NicCard::BindObs() {
+  const std::string node = "node" + std::to_string(nic_id_);
+  obs::Registry& m = sim_.metrics();
+  auto bind_engine = [&](EngineObs& e, const std::string& engine) {
+    const std::string prefix = node + ".dma." + engine + ".";
+    e.ops = &m.GetCounter(prefix + "ops");
+    e.bytes = &m.GetCounter(prefix + "bytes");
+    e.busy_ns = &m.GetCounter(prefix + "busy_ns");
+    e.utilization = &m.GetGauge(prefix + "utilization");
+    e.track = sim_.tracer().RegisterTrack(node + ".dma." + engine);
+  };
+  bind_engine(host_dma_obs_, "host");
+  bind_engine(net_tx_obs_, "nettx");
+  cpu_.BindMetrics(&m.GetCounter(node + ".lanai.exec_ns"));
+  packets_sent_m_ = &m.GetCounter(node + ".nic.packets_sent");
+  packets_received_m_ = &m.GetCounter(node + ".nic.packets_received");
+  crc_errors_m_ = &m.GetCounter(node + ".nic.crc_errors");
+  obs_bound_ = true;
+}
+
+// Closes out one engine occupancy interval: op/byte/busy counters plus the
+// derived utilization gauge (busy time over total sim time so far).
+void NicCard::FinishEngineOp(EngineObs& e, sim::Tick t0, std::uint64_t bytes) {
+  if (!obs_bound_) return;
+  const sim::Tick now = sim_.now();
+  e.ops->Inc();
+  e.bytes->Inc(bytes);
+  e.busy_ns->Inc(static_cast<std::uint64_t>(now - t0));
+  if (now > 0) {
+    e.utilization->Set(now, static_cast<double>(e.busy_ns->value()) /
+                                static_cast<double>(now));
+  }
 }
 
 void NicCard::LoadLcp(std::unique_ptr<Lcp> lcp) {
@@ -26,8 +65,12 @@ void NicCard::OnPacket(myrinet::Packet packet, sim::Tick tail_time) {
   sim_.In(done > 0 ? done : 0, [this, pkt = std::move(packet)]() mutable {
     ReceivedPacket rp;
     rp.crc_ok = pkt.CrcOk();
-    if (!rp.crc_ok) ++crc_errors_;
+    if (!rp.crc_ok) {
+      ++crc_errors_;
+      if (crc_errors_m_ != nullptr) crc_errors_m_->Inc();
+    }
     ++packets_received_;
+    if (packets_received_m_ != nullptr) packets_received_m_->Inc();
     rp.packet = std::move(pkt);
     rx_queue_.Put(std::move(rp));
     NotifyWork();
@@ -36,35 +79,50 @@ void NicCard::OnPacket(myrinet::Packet packet, sim::Tick tail_time) {
 
 sim::Process NicCard::NetSend(myrinet::Packet packet) {
   auto lock = co_await sim::ScopedAcquire(net_tx_engine_);
+  auto span = obs_bound_ ? sim_.tracer().Scope(net_tx_obs_.track, "net_send")
+                         : obs::Tracer::Span();
+  const sim::Tick t0 = sim_.now();
   co_await sim_.Delay(params_.lanai.net_dma_init);
   const std::size_t wire = packet.wire_bytes();
   Status s = fabric_.Inject(nic_id_, std::move(packet));
   assert(s.ok() && "NIC not attached to fabric");
   (void)s;
   ++packets_sent_;
+  if (packets_sent_m_ != nullptr) packets_sent_m_->Inc();
   // The tx engine streams from SRAM for the serialization time; the link
   // model accounts occupancy on the wire, the engine is held equally long
   // so back-to-back sends pipeline correctly.
   co_await sim_.Delay(sim::NsForBytes(wire, params_.net.link_mb_s));
+  FinishEngineOp(net_tx_obs_, t0, wire);
 }
 
 sim::Process NicCard::HostDmaRead(mem::PhysAddr src, std::vector<std::uint8_t>& out,
                                   std::size_t len) {
   auto lock = co_await sim::ScopedAcquire(host_dma_engine_);
+  auto span = obs_bound_
+                  ? sim_.tracer().Scope(host_dma_obs_.track, "host_dma_read")
+                  : obs::Tracer::Span();
+  const sim::Tick t0 = sim_.now();
   co_await machine_.pci().Dma(len);
   out.resize(len);
   Status s = machine_.memory().Read(src, out);
   assert(s.ok() && "host DMA read from bad physical address");
   (void)s;
+  FinishEngineOp(host_dma_obs_, t0, len);
 }
 
 sim::Process NicCard::HostDmaWrite(mem::PhysAddr dst,
                                    std::span<const std::uint8_t> in) {
   auto lock = co_await sim::ScopedAcquire(host_dma_engine_);
+  auto span = obs_bound_
+                  ? sim_.tracer().Scope(host_dma_obs_.track, "host_dma_write")
+                  : obs::Tracer::Span();
+  const sim::Tick t0 = sim_.now();
   co_await machine_.pci().Dma(in.size());
   Status s = machine_.memory().Write(dst, in);
   assert(s.ok() && "host DMA write to bad physical address");
   (void)s;
+  FinishEngineOp(host_dma_obs_, t0, in.size());
 }
 
 void NicCard::RaiseHostInterrupt() {

@@ -2,15 +2,44 @@
 
 #include <cassert>
 #include <deque>
+#include <string>
 
 #include "vmmc/util/log.h"
 
 namespace vmmc::myrinet {
 
+namespace {
+// Sinks for links constructed outside a Fabric (unit tests), so Send
+// never branches on whether metrics are bound.
+obs::Counter g_unbound_packets;
+obs::Counter g_unbound_bytes;
+obs::Counter g_unbound_ser;
+obs::Counter g_unbound_blocked;
+}  // namespace
+
+Link::Link(sim::Simulator& sim, const NetParams& params, sim::Rng& rng)
+    : sim_(sim),
+      params_(params),
+      rng_(rng),
+      packets_m_(&g_unbound_packets),
+      bytes_m_(&g_unbound_bytes),
+      ser_ns_m_(&g_unbound_ser),
+      blocked_ns_m_(&g_unbound_blocked) {}
+
+void Link::BindMetrics(obs::Counter* packets, obs::Counter* bytes,
+                       obs::Counter* ser_ns, obs::Counter* blocked_ns) {
+  packets_m_ = packets != nullptr ? packets : &g_unbound_packets;
+  bytes_m_ = bytes != nullptr ? bytes : &g_unbound_bytes;
+  ser_ns_m_ = ser_ns != nullptr ? ser_ns : &g_unbound_ser;
+  blocked_ns_m_ = blocked_ns != nullptr ? blocked_ns : &g_unbound_blocked;
+}
+
 void Link::Send(Packet packet) {
   assert(dst_ != nullptr && "link not wired");
   ++packets_;
   bytes_ += packet.wire_bytes();
+  packets_m_->Inc();
+  bytes_m_->Inc(packet.wire_bytes());
 
   // Error injection: flip one payload byte; the receiver's CRC hardware
   // detects it (the paper checks CRCs but never recovers, §4.2).
@@ -21,8 +50,13 @@ void Link::Send(Packet packet) {
     packet.payload[i] ^= 0x01u << rng_.UniformU64(8);
   }
 
+  // Blocked time: how long the packet waited for the wire to free up.
   const sim::Tick start = std::max(sim_.now(), busy_until_);
+  const sim::Tick blocked = start - sim_.now();
+  blocked_ += blocked;
+  blocked_ns_m_->Inc(static_cast<std::uint64_t>(blocked));
   const sim::Tick ser = sim::NsForBytes(packet.wire_bytes(), params_.link_mb_s);
+  ser_ns_m_->Inc(static_cast<std::uint64_t>(ser));
   busy_until_ = start + ser;
   const sim::Tick head = start + params_.link_latency;
   const sim::Tick tail = start + ser + params_.link_latency;
@@ -35,6 +69,7 @@ void Link::Send(Packet packet) {
 void Switch::OnPacket(Packet packet, sim::Tick tail_time) {
   if (packet.route.empty()) {
     ++dropped_;
+    if (dropped_m_ != nullptr) dropped_m_->Inc();
     VMMC_LOG(kWarn, "switch") << "switch " << id_ << ": packet with empty route dropped";
     return;
   }
@@ -42,11 +77,13 @@ void Switch::OnPacket(Packet packet, sim::Tick tail_time) {
   packet.route.erase(packet.route.begin());
   if (port >= num_ports() || out_links_[static_cast<std::size_t>(port)] == nullptr) {
     ++dropped_;
+    if (dropped_m_ != nullptr) dropped_m_->Inc();
     VMMC_LOG(kWarn, "switch") << "switch " << id_ << ": invalid output port "
                               << port << ", packet dropped";
     return;
   }
   ++forwarded_;
+  if (forwarded_m_ != nullptr) forwarded_m_->Inc();
   // Cut-through: forward the head after the switch latency. The downstream
   // link recomputes serialization; `tail_time` of this hop is implicit.
   (void)tail_time;
@@ -56,13 +93,24 @@ void Switch::OnPacket(Packet packet, sim::Tick tail_time) {
 }
 
 Link* Fabric::NewLink() {
+  const std::string prefix =
+      "fabric.link" + std::to_string(links_.size()) + ".";
   links_.push_back(std::make_unique<Link>(sim_, params_, rng_));
+  obs::Registry& m = sim_.metrics();
+  links_.back()->BindMetrics(&m.GetCounter(prefix + "packets"),
+                             &m.GetCounter(prefix + "bytes"),
+                             &m.GetCounter(prefix + "ser_ns"),
+                             &m.GetCounter(prefix + "blocked_ns"));
   return links_.back().get();
 }
 
 int Fabric::AddSwitch(int num_ports) {
   const int id = num_switches();
   switches_.push_back(std::make_unique<Switch>(sim_, params_, id, num_ports));
+  const std::string prefix = "fabric.switch" + std::to_string(id) + ".";
+  obs::Registry& m = sim_.metrics();
+  switches_.back()->BindMetrics(&m.GetCounter(prefix + "forwarded"),
+                                &m.GetCounter(prefix + "dropped"));
   return id;
 }
 

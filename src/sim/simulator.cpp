@@ -1,6 +1,17 @@
 #include "vmmc/sim/simulator.h"
 
+#include "vmmc/util/log.h"
+
 namespace vmmc::sim {
+
+// The most recently constructed simulator provides the log timestamp
+// context; nested/concurrent simulators in one process (tests) simply
+// hand it back when they go away.
+Simulator::Simulator() { SetLogSimClock(&now_); }
+
+Simulator::~Simulator() {
+  if (GetLogSimClock() == &now_) SetLogSimClock(nullptr);
+}
 
 void Simulator::At(Tick t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule in the past");

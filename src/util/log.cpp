@@ -6,6 +6,7 @@ namespace vmmc {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+const std::int64_t* g_sim_now = nullptr;
 
 std::string_view LevelName(LogLevel level) {
   switch (level) {
@@ -42,8 +43,20 @@ LogLevel ParseLogLevel(std::string_view name) {
   return LogLevel::kWarn;
 }
 
+void SetLogSimClock(const std::int64_t* now) { g_sim_now = now; }
+
+const std::int64_t* GetLogSimClock() { return g_sim_now; }
+
 namespace detail {
 void EmitLog(LogLevel level, std::string_view component, const std::string& msg) {
+  if (g_sim_now != nullptr) {
+    std::fprintf(stderr, "[@%lldns] [%.*s] %.*s: %s\n",
+                 static_cast<long long>(*g_sim_now),
+                 static_cast<int>(LevelName(level).size()),
+                 LevelName(level).data(), static_cast<int>(component.size()),
+                 component.data(), msg.c_str());
+    return;
+  }
   std::fprintf(stderr, "[%.*s] %.*s: %s\n", static_cast<int>(LevelName(level).size()),
                LevelName(level).data(), static_cast<int>(component.size()),
                component.data(), msg.c_str());

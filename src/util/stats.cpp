@@ -18,7 +18,13 @@ void OnlineStats::Add(double x) {
 
 double OnlineStats::variance() const {
   if (count_ == 0) return 0.0;
-  return m2_ / static_cast<double>(count_);
+  // m2_ can go epsilon-negative through floating-point cancellation.
+  return std::max(0.0, m2_ / static_cast<double>(count_));
+}
+
+double OnlineStats::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return std::max(0.0, m2_ / static_cast<double>(count_ - 1));
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
@@ -36,16 +42,21 @@ void Histogram::Add(double x) {
 
 double Histogram::Quantile(double q) const {
   if (total_ == 0) return 0.0;
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
+    // Empty buckets carry no mass: skip them so a quantile never lands in
+    // a bucket no sample fell into (q=0 used to report the first bucket's
+    // bound even when every sample sat far above it).
+    if (counts_[i] == 0) continue;
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target) {
       const double lo = (i == 0) ? 0.0 : bounds_[i - 1];
       const double hi = (i < bounds_.size()) ? bounds_[i] : lo * 2.0 + 1.0;
-      if (counts_[i] == 0) return hi;
-      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      const double frac = std::clamp(
+          (target - cum) / static_cast<double>(counts_[i]), 0.0, 1.0);
       return lo + frac * (hi - lo);
     }
     cum = next;

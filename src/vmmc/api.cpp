@@ -44,6 +44,11 @@ Result<std::unique_ptr<Endpoint>> Endpoint::Open(
   ep->slot_tokens_ = std::make_unique<sim::Semaphore>(
       machine.kernel().simulator(), entries);
 
+  const std::string node = "node" + std::to_string(daemon.node_id());
+  obs::Registry& m = machine.kernel().simulator().metrics();
+  ep->send_posts_m_ = &m.GetCounter(node + ".host.send_posts");
+  ep->pio_post_ns_m_ = &m.GetCounter(node + ".host.pio_post_ns");
+
   // Notification path: driver -> signal -> this handler -> user handlers.
   Endpoint* raw = ep.get();
   process.SetSignalHandler(host::kSigVmmcNotify, [raw](int) -> sim::Process {
@@ -182,6 +187,11 @@ sim::Task<Result<SendHandle>> Endpoint::SendMsgAsync(mem::VirtAddr src,
   // size (§4.5).
   const int words = short_send ? 4 + static_cast<int>((len + 3) / 4) : 6;
   co_await machine_->pci().PioWrite(words);
+  if (send_posts_m_ != nullptr) {
+    send_posts_m_->Inc();
+    pio_post_ns_m_->Inc(
+        static_cast<std::uint64_t>(machine_->pci().PioWriteCost(words)));
+  }
 
   Status posted = lcp_->PostSend(*state_, std::move(req));
   if (!posted.ok()) {

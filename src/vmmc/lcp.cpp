@@ -9,6 +9,14 @@ namespace vmmc::vmmc_core {
 
 using mem::kPageSize;
 
+namespace {
+// Sinks used until Run binds the registry (and forever for an LCP that is
+// constructed but never booted), so the counting paths never branch.
+obs::Counter g_unbound_counter;
+obs::Gauge g_unbound_gauge;
+obs::Histo g_unbound_histo;
+}  // namespace
+
 ProcState::ProcState(sim::Simulator& sim, const VmmcParams& params,
                      host::UserProcess& process)
     : tlb_filled(sim),
@@ -23,7 +31,42 @@ ProcState::ProcState(sim::Simulator& sim, const VmmcParams& params,
 }
 
 VmmcLcp::VmmcLcp(const Params& params, RouteTable routes)
-    : params_(params), routes_(std::move(routes)) {}
+    : params_(params), routes_(std::move(routes)) {
+  obs_.sends = &g_unbound_counter;
+  obs_.chunks_sent = &g_unbound_counter;
+  obs_.bytes_sent = &g_unbound_counter;
+  obs_.chunks_received = &g_unbound_counter;
+  obs_.bytes_received = &g_unbound_counter;
+  obs_.tlb_miss_interrupts = &g_unbound_counter;
+  obs_.protection_violations = &g_unbound_counter;
+  obs_.crc_drops = &g_unbound_counter;
+  obs_.notifications = &g_unbound_counter;
+  obs_.send_queue_depth = &g_unbound_gauge;
+  obs_.host_dma_ns = &g_unbound_histo;
+  obs_.translate_ns = &g_unbound_histo;
+}
+
+void VmmcLcp::BindObs() {
+  const std::string node = "node" + std::to_string(nic_->nic_id());
+  obs::Registry& m = nic_->simulator().metrics();
+  obs_.sends = &m.GetCounter(node + ".lcp.sends");
+  obs_.chunks_sent = &m.GetCounter(node + ".lcp.chunks_sent");
+  obs_.bytes_sent = &m.GetCounter(node + ".lcp.bytes_sent");
+  obs_.chunks_received = &m.GetCounter(node + ".lcp.chunks_received");
+  obs_.bytes_received = &m.GetCounter(node + ".lcp.bytes_received");
+  obs_.tlb_miss_interrupts = &m.GetCounter(node + ".lcp.tlb_miss_interrupts");
+  obs_.protection_violations =
+      &m.GetCounter(node + ".lcp.protection_violations");
+  obs_.crc_drops = &m.GetCounter(node + ".lcp.crc_drops");
+  obs_.notifications = &m.GetCounter(node + ".lcp.notifications");
+  obs_.send_queue_depth = &m.GetGauge(node + ".lcp.send_queue_depth");
+  obs_.host_dma_ns = &m.GetHisto(node + ".lcp.host_dma_ns");
+  obs_.translate_ns = &m.GetHisto(node + ".lcp.translate_ns");
+  obs_.tlb_hits = &m.GetCounter(node + ".tlb.hit");
+  obs_.tlb_misses = &m.GetCounter(node + ".tlb.miss");
+  obs_.tlb_evictions = &m.GetCounter(node + ".tlb.eviction");
+  obs_.track = nic_->simulator().tracer().RegisterTrack(node + ".lcp");
+}
 
 // ---------------------------------------------------------------------------
 // Host-visible interface
@@ -57,6 +100,9 @@ Result<ProcState*> VmmcLcp::RegisterProcess(host::UserProcess& process) {
 
   auto state = std::make_unique<ProcState>(nic_->simulator(), vp, process);
   state->sram_regions = {queue.value(), opt.value(), tlb.value()};
+  // All processes on a node share the node<N>.tlb.* counters: the paper's
+  // TLB pressure question is per NIC, not per process.
+  state->tlb().BindMetrics(obs_.tlb_hits, obs_.tlb_misses, obs_.tlb_evictions);
   procs_.push_back(std::move(state));
   return procs_.back().get();
 }
@@ -85,8 +131,18 @@ Status VmmcLcp::PostSend(ProcState& proc, SendRequest request) {
     return InvalidArgument("bad completion slot");
   }
   proc.send_queue().push_back(std::move(request));
+  UpdateQueueDepth();
   nic_->NotifyWork();
   return OkStatus();
+}
+
+// Total entries queued across all processes, as a sim-time-weighted gauge:
+// its TimeWeightedMean is the average backlog the LCP ran against.
+void VmmcLcp::UpdateQueueDepth() {
+  std::size_t depth = 0;
+  for (const auto& p : procs_) depth += p->send_queue().size();
+  obs_.send_queue_depth->Set(nic_->simulator().now(),
+                             static_cast<double>(depth));
 }
 
 std::optional<std::pair<int, mem::Vpn>> VmmcLcp::TakePendingTlbMiss() {
@@ -121,6 +177,7 @@ std::optional<PendingNotification> VmmcLcp::PopNotification() {
 
 sim::Process VmmcLcp::Run(lanai::NicCard& nic) {
   nic_ = &nic;
+  BindObs();
   // Code + global data + staging buffers; capacity pressure for §6.
   auto reserved = nic.sram().Allocate("lcp-code+staging",
                                       params_.lanai.lcp_reserved_bytes);
@@ -161,6 +218,7 @@ sim::Process VmmcLcp::Run(lanai::NicCard& nic) {
                                   static_cast<sim::Tick>(procs_.size()));
       SendRequest req = std::move(proc->send_queue().front());
       proc->send_queue().pop_front();
+      UpdateQueueDepth();
       co_await StartSend(nic, *proc, std::move(req));
     }
   }
@@ -231,14 +289,23 @@ Result<std::pair<std::uint64_t, std::uint64_t>> VmmcLcp::ResolveChunkTarget(
 sim::Task<Result<mem::Pfn>> VmmcLcp::TranslateSrc(lanai::NicCard& nic,
                                                   ProcState& proc,
                                                   mem::Vpn vpn) {
+  const sim::Tick t0 = nic.simulator().now();
   for (int attempt = 0; attempt < 2; ++attempt) {
     co_await nic.cpu().Exec(params_.lanai.tlb_lookup);
     mem::Pfn pfn = 0;
-    if (proc.tlb().Lookup(vpn, &pfn)) co_return pfn;
+    if (proc.tlb().Lookup(vpn, &pfn)) {
+      obs_.translate_ns->Observe(
+          static_cast<double>(nic.simulator().now() - t0));
+      co_return pfn;
+    }
     if (attempt == 1) break;
     // Miss: interrupt the host; the driver pins the pages and inserts up
     // to 32 translations (§4.5), then wakes us.
     ++stats_.tlb_miss_interrupts;
+    obs_.tlb_miss_interrupts->Inc();
+    auto miss_span = obs_.track >= 0
+                         ? nic.simulator().tracer().Scope(obs_.track, "tlb_miss")
+                         : obs::Tracer::Span();
     proc.pending_miss = vpn;
     proc.tlb_filled.Reset();
     co_await nic.cpu().Exec(params_.lanai.raise_interrupt);
@@ -246,12 +313,14 @@ sim::Task<Result<mem::Pfn>> VmmcLcp::TranslateSrc(lanai::NicCard& nic,
     co_await proc.tlb_filled.Wait();
   }
   // The driver could not translate: the source page is not mapped.
+  obs_.translate_ns->Observe(static_cast<double>(nic.simulator().now() - t0));
   co_return Result<mem::Pfn>(NotFound("source page unmapped"));
 }
 
 sim::Process VmmcLcp::StartSend(lanai::NicCard& nic, ProcState& proc,
                                 SendRequest req) {
   ++stats_.sends_processed;
+  obs_.sends->Inc();
   if (req.len == 0 || req.len > params_.vmmc.max_send_bytes) {
     FinishRequest(proc, req.slot, SendStatus::kBadLength);
     co_return;
@@ -264,6 +333,7 @@ sim::Process VmmcLcp::StartSend(lanai::NicCard& nic, ProcState& proc,
   auto first_target = ResolveChunkTarget(proc, req.proxy, first_len, &dst_node);
   if (!first_target.ok()) {
     ++stats_.protection_violations;
+    obs_.protection_violations->Inc();
     FinishRequest(proc, req.slot, SendStatus::kBadProxy);
     co_return;
   }
@@ -283,6 +353,9 @@ sim::Process VmmcLcp::StartSend(lanai::NicCard& nic, ProcState& proc,
 sim::Process VmmcLcp::HandleShortSend(lanai::NicCard& nic, ProcState& proc,
                                       SendRequest& req) {
   ++stats_.short_sends;
+  auto span = obs_.track >= 0
+                  ? nic.simulator().tracer().Scope(obs_.track, "short_send")
+                  : obs::Tracer::Span();
   std::uint32_t dst_node = 0;
   auto target = ResolveChunkTarget(proc, req.proxy, req.len, &dst_node);
   assert(target.ok());  // validated by StartSend
@@ -313,6 +386,8 @@ sim::Process VmmcLcp::HandleShortSend(lanai::NicCard& nic, ProcState& proc,
   // host) and keeping it off the wire's critical path saves latency.
   ++stats_.chunks_sent;
   stats_.bytes_sent += req.len;
+  obs_.chunks_sent->Inc();
+  obs_.bytes_sent->Inc(req.len);
   tx_box_->Put(TxItem{std::move(pkt), /*release_staging=*/false});
   co_await nic.cpu().Exec(params_.lanai.completion_writeback);
   FinishRequest(proc, req.slot, SendStatus::kDone);
@@ -321,6 +396,9 @@ sim::Process VmmcLcp::HandleShortSend(lanai::NicCard& nic, ProcState& proc,
 
 sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
   assert(proc.active.has_value());
+  auto span = obs_.track >= 0
+                  ? nic.simulator().tracer().Scope(obs_.track, "chunk")
+                  : obs::Tracer::Span();
   ProcState::ActiveLongSend& as = *proc.active;
   const SendRequest& req = as.req;
 
@@ -363,6 +441,7 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
   auto target = ResolveChunkTarget(proc, dst, chunk_len, &dst_node);
   if (!target.ok()) {
     ++stats_.protection_violations;
+    obs_.protection_violations->Inc();
     FinishRequest(proc, req.slot, SendStatus::kBadProxy);
     proc.active.reset();
     co_return;
@@ -379,7 +458,10 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
   // network DMA of previous chunks through the staging buffers).
   if (params_.vmmc.pipeline_dma) co_await staging_->Acquire();
   std::vector<std::uint8_t> data;
+  const sim::Tick dma_t0 = nic.simulator().now();
   co_await nic.HostDmaRead(src_pa, data, chunk_len);
+  obs_.host_dma_ns->Observe(
+      static_cast<double>(nic.simulator().now() - dma_t0));
 
   if (last) {
     // "When the last chunk of a long message is safely stored in the
@@ -405,6 +487,8 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
 
   ++stats_.chunks_sent;
   stats_.bytes_sent += chunk_len;
+  obs_.chunks_sent->Inc();
+  obs_.bytes_sent->Inc(chunk_len);
   if (params_.vmmc.pipeline_dma) {
     tx_box_->Put(TxItem{std::move(pkt), /*release_staging=*/true});
   } else {
@@ -419,6 +503,9 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
 // ---------------------------------------------------------------------------
 
 sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) {
+  auto span = obs_.track >= 0
+                  ? nic.simulator().tracer().Scope(obs_.track, "recv")
+                  : obs::Tracer::Span();
   // With traffic in both directions the receive work also runs through
   // the main software state machine instead of a dedicated drain loop
   // (§5.3): charge the state-machine overhead when send work is pending.
@@ -434,11 +521,13 @@ sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) 
   if (!rp.crc_ok) {
     // Detected but not recovered (§4.2).
     ++stats_.crc_drops;
+    obs_.crc_drops->Inc();
     co_return;
   }
   auto decoded = DecodeChunk(rp.packet.payload);
   if (!decoded.has_value()) {
     ++stats_.protection_violations;
+    obs_.protection_violations->Inc();
     co_return;
   }
   const ChunkHeader& h = decoded->header;
@@ -450,6 +539,7 @@ sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) 
   const IncomingEntry* e0 = incoming_->Find(mem::PageNumber(h.dst_pa0));
   if (e0 == nullptr || !e0->recv_enabled) {
     ++stats_.protection_violations;
+    obs_.protection_violations->Inc();
     co_return;
   }
   const IncomingEntry* e1 = nullptr;
@@ -457,6 +547,7 @@ sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) 
     e1 = incoming_->Find(mem::PageNumber(h.dst_pa1));
     if (e1 == nullptr || !e1->recv_enabled) {
       ++stats_.protection_violations;
+      obs_.protection_violations->Inc();
       co_return;
     }
   }
@@ -469,11 +560,14 @@ sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) 
   }
   ++stats_.chunks_received;
   stats_.bytes_received += h.chunk_len;
+  obs_.chunks_received->Inc();
+  obs_.bytes_received->Inc(h.chunk_len);
 
   // Notification: only on the last chunk, only if the sender asked and the
   // export allows it (§2, §4.4).
   if (h.last_chunk() && h.notify() && e0->notify) {
     ++stats_.notifications_raised;
+    obs_.notifications->Inc();
     notifications_.push_back(
         PendingNotification{e0->owner_pid, e0->export_id, h.msg_len});
     co_await nic.cpu().Exec(params_.lanai.raise_interrupt);

@@ -1,0 +1,153 @@
+#include "vmmc/obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vmmc::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Microseconds with nanosecond precision, fixed format.
+void AppendTs(std::string& out, sim::Tick ts) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ts / 1000),
+                static_cast<long long>(ts % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+int Tracer::RegisterTrack(const std::string& name) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<int>(i);
+  }
+  tracks_.push_back(name);
+  return static_cast<int>(tracks_.size() - 1);
+}
+
+void Tracer::Record(char phase, int track, std::string_view name,
+                    std::uint64_t id) {
+  events_.push_back(TraceEvent{*now_, static_cast<std::int32_t>(track), phase,
+                               id, std::string(name)});
+}
+
+void Tracer::Begin(int track, std::string_view name) {
+  if (!enabled_) return;
+  Record('B', track, name);
+}
+
+void Tracer::End(int track) {
+  if (!enabled_) return;
+  Record('E', track, "");
+}
+
+void Tracer::Instant(int track, std::string_view name) {
+  if (!enabled_) return;
+  Record('i', track, name);
+}
+
+void Tracer::AsyncBegin(int track, std::string_view name, std::uint64_t id) {
+  if (!enabled_) return;
+  Record('b', track, name, id);
+}
+
+void Tracer::AsyncEnd(int track, std::string_view name, std::uint64_t id) {
+  if (!enabled_) return;
+  Record('e', track, name, id);
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  // Track (thread) names as metadata events.
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(i);
+    out += ",\"args\":{\"name\":\"";
+    AppendEscaped(out, tracks_[i]);
+    out += "\"}}";
+  }
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, ev.name);
+    out += "\",\"cat\":\"vmmc\",\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"ts\":";
+    AppendTs(out, ev.ts);
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(ev.track);
+    if (ev.phase == 'b' || ev.phase == 'e') {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(ev.id));
+      out += buf;
+    }
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return NotFound("cannot open trace file: " + path);
+  const std::string json = ToChromeJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) return InternalError("short write: " + path);
+  return OkStatus();
+}
+
+TraceEnvGuard::TraceEnvGuard(Tracer& tracer) : tracer_(tracer) {
+  const char* path = std::getenv("VMMC_TRACE");
+  if (path != nullptr && path[0] != '\0') {
+    path_ = path;
+    tracer_.Enable();
+  }
+}
+
+TraceEnvGuard::~TraceEnvGuard() {
+  if (path_.empty()) return;
+  Status s = tracer_.WriteChromeJson(path_);
+  if (!s.ok()) {
+    std::fprintf(stderr, "VMMC_TRACE: %s\n", s.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "VMMC_TRACE: wrote %zu events to %s\n",
+                 tracer_.event_count(), path_.c_str());
+  }
+}
+
+}  // namespace vmmc::obs

@@ -4,9 +4,28 @@
 
 namespace vmmc::vmmc_core {
 
+namespace {
+// Default metric sinks: a TLB constructed outside a cluster (unit tests)
+// counts into these, keeping Lookup/Insert free of null checks.
+obs::Counter g_unbound_hits;
+obs::Counter g_unbound_misses;
+obs::Counter g_unbound_evictions;
+}  // namespace
+
 SwTlb::SwTlb(std::uint32_t total_entries, std::uint32_t ways)
-    : ways_(ways), sets_(total_entries) {
+    : ways_(ways),
+      sets_(total_entries),
+      hits_m_(&g_unbound_hits),
+      misses_m_(&g_unbound_misses),
+      evictions_m_(&g_unbound_evictions) {
   assert(ways > 0 && total_entries % ways == 0);
+}
+
+void SwTlb::BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                        obs::Counter* evictions) {
+  hits_m_ = hits != nullptr ? hits : &g_unbound_hits;
+  misses_m_ = misses != nullptr ? misses : &g_unbound_misses;
+  evictions_m_ = evictions != nullptr ? evictions : &g_unbound_evictions;
 }
 
 bool SwTlb::Lookup(mem::Vpn vpn, mem::Pfn* pfn) {
@@ -17,10 +36,12 @@ bool SwTlb::Lookup(mem::Vpn vpn, mem::Pfn* pfn) {
       way.last_used = ++clock_;
       if (pfn != nullptr) *pfn = way.pfn;
       ++hits_;
+      hits_m_->Inc();
       return true;
     }
   }
   ++misses_;
+  misses_m_->Inc();
   return false;
 }
 
@@ -39,6 +60,10 @@ void SwTlb::Insert(mem::Vpn vpn, mem::Pfn pfn) {
     } else if (victim->valid && way.last_used < victim->last_used) {
       victim = &way;
     }
+  }
+  if (victim->valid) {
+    ++evictions_;
+    evictions_m_->Inc();
   }
   *victim = Way{true, vpn, pfn, ++clock_};
 }

@@ -46,6 +46,13 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcClient::Call(
     std::uint32_t prog, std::uint32_t vers, std::uint32_t proc,
     std::vector<std::uint8_t> args) {
   const VrpcParams& vp = params_.vrpc;
+  if (calls_m_ == nullptr) {
+    calls_m_ = &sim_.metrics().GetCounter("vrpc.client.calls");
+    rtt_us_m_ = &sim_.metrics().GetHisto("vrpc.client.rtt_us");
+    track_ = sim_.tracer().RegisterTrack("vrpc.client");
+  }
+  calls_m_->Inc();
+  const sim::Tick t0 = sim_.now();
   // Client stub + runtime layers (collapsed into one thin layer, §5.4).
   co_await sim_.Delay(fast_path_ ? vp.fast_client_stub : vp.client_stub);
 
@@ -55,6 +62,13 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcClient::Call(
   call.vers = vers;
   call.proc = proc;
   call.args = std::move(args);
+  // Overlapping calls (several clients, async use) would break strict span
+  // nesting, so round trips are async events keyed by xid.
+  sim_.tracer().AsyncBegin(track_, "call", call.xid);
+  const auto finish = [this, t0, xid = call.xid] {
+    rtt_us_m_->Observe(static_cast<double>(sim_.now() - t0) / 1000.0);
+    sim_.tracer().AsyncEnd(track_, "call", xid);
+  };
 
   // XDR marshalling.
   co_await sim_.Delay(vp.xdr_per_call +
@@ -62,10 +76,14 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcClient::Call(
   std::vector<std::uint8_t> wire = EncodeCall(call);
 
   auto response = co_await transport_->RoundTrip(std::move(wire));
-  if (!response.ok()) co_return Result<std::vector<std::uint8_t>>(response.status());
+  if (!response.ok()) {
+    finish();
+    co_return Result<std::vector<std::uint8_t>>(response.status());
+  }
 
   co_await sim_.Delay(vp.xdr_per_call +
                       sim::NsForBytes(response.value().size(), vp.xdr_mb_s));
+  finish();
   auto reply = DecodeReply(response.value());
   if (!reply.has_value()) {
     co_return Result<std::vector<std::uint8_t>>(

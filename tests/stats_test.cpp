@@ -1,0 +1,123 @@
+// Direct tests for the stats.h helpers, including the edge cases the
+// observability layer leans on: empty-histogram quantiles, quantiles that
+// skip empty buckets, and single-sample variance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "vmmc/util/stats.h"
+
+namespace vmmc {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsAllZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sample_variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  // Bessel correction would divide by zero: must report 0, not NaN/inf.
+  EXPECT_EQ(s.sample_variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, PopulationAndSampleVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);            // /n
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 32.0 / 7.0);  // /(n-1)
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, VarianceNeverGoesNegative) {
+  // Many identical values provoke floating-point cancellation in m2.
+  OnlineStats s;
+  for (int i = 0; i < 10000; ++i) s.Add(0.1);
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_GE(s.sample_variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileSkipsEmptyBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  // Every sample sits in the (10, 100] bucket; quantiles must never report
+  // the empty low buckets.
+  for (int i = 0; i < 10; ++i) h.Add(50.0);
+  EXPECT_GE(h.Quantile(0.0), 10.0);
+  EXPECT_GE(h.Quantile(0.01), 10.0);
+  EXPECT_LE(h.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, QuantileIsMonotonicAndHandlesBadQ) {
+  Histogram h({1.0, 2.0, 4.0, 8.0, 16.0});
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i % 16));
+  double prev = h.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  // Out-of-range and NaN q are clamped, not UB.
+  EXPECT_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(2.0), h.Quantile(1.0));
+  EXPECT_EQ(h.Quantile(std::numeric_limits<double>::quiet_NaN()),
+            h.Quantile(0.0));
+}
+
+TEST(HistogramTest, OverflowBucketCatchesLargeSamples) {
+  Histogram h({1.0, 10.0});
+  h.Add(1000.0);
+  h.Add(2000.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);  // past the last bound
+  // The overflow bucket has no upper bound; the estimate must still be a
+  // finite value at or above the last bound.
+  EXPECT_GE(h.Quantile(0.5), 10.0);
+  EXPECT_FALSE(std::isinf(h.Quantile(1.0)));
+}
+
+TEST(TableTest, RendersAlignedRowsWithRule) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(FormatTest, FormatDoubleAndSize) {
+  EXPECT_EQ(FormatDouble(9.8, 2), "9.80");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(FormatSize(4), "4");
+  EXPECT_EQ(FormatSize(1024), "1K");
+  EXPECT_EQ(FormatSize(64 * 1024), "64K");
+  EXPECT_EQ(FormatSize(1 << 20), "1M");
+  EXPECT_EQ(FormatSize(1000), "1000");  // not a multiple of 1K
+}
+
+}  // namespace
+}  // namespace vmmc
