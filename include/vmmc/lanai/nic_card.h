@@ -64,6 +64,11 @@ class Lcp {
  public:
   virtual ~Lcp() = default;
   virtual sim::Process Run(NicCard& nic) = 0;
+
+  // The fabric reported that a packet this NIC injected was discarded at
+  // a switch (misroute / empty route). Called from the event queue, not
+  // from LCP coroutine context; default: ignore, as the paper's LCP does.
+  virtual void OnDropNotice(const myrinet::Packet& packet) { (void)packet; }
 };
 
 class NicCard : public myrinet::Endpoint {
@@ -101,6 +106,10 @@ class NicCard : public myrinet::Endpoint {
   // Endpoint: head arrival of a packet destined for this NIC.
   void OnPacket(myrinet::Packet packet, sim::Tick tail_time) override;
 
+  // Endpoint: a packet this NIC injected was dropped at a switch; relayed
+  // to the loaded LCP so its recovery path (if any) can react.
+  void OnPacketDropped(const myrinet::Packet& packet) override;
+
   // Transmit: holds the net-tx DMA engine for init + serialization, then
   // injects into the fabric. `extra_tx_cost` models per-packet LCP work
   // that must happen with the engine held.
@@ -131,6 +140,10 @@ class NicCard : public myrinet::Endpoint {
   void NotifyWork() { work_tokens_.Release(); }
   auto AwaitWork() { return work_tokens_.Acquire(); }
   bool work_pending() const { return work_tokens_.available() > 0; }
+  // Consumes one pending token without blocking (an LCP that drained a
+  // packet directly can retire the token that arrival posted, so the
+  // token level keeps reflecting undrained work).
+  bool TryConsumeWorkToken() { return work_tokens_.TryAcquire(); }
 
  private:
   sim::Simulator& sim_;

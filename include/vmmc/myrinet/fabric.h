@@ -30,6 +30,12 @@ class Endpoint {
  public:
   virtual ~Endpoint() = default;
   virtual void OnPacket(Packet packet, sim::Tick tail_time) = 0;
+
+  // Backward drop notification: the fabric tells the *source* NIC when a
+  // switch discarded one of its packets (empty or invalid route), so the
+  // loss is handled by the sender's recovery path instead of silence. The
+  // packet is the dropped one, with the route bytes consumed so far gone.
+  virtual void OnPacketDropped(const Packet& packet) { (void)packet; }
 };
 
 // Unidirectional link.
@@ -39,6 +45,12 @@ class Link {
 
   void set_destination(Endpoint* dst) { dst_ = dst; }
   Endpoint* destination() const { return dst_; }
+
+  // Fabric-assigned id, used to address this link in a FaultPlan
+  // (fault.h). Links built outside a Fabric keep -1 and still match
+  // wildcard rules.
+  void set_id(int id) { id_ = id; }
+  int id() const { return id_; }
 
   // Injects `packet`; honours occupancy (back-to-back packets queue on the
   // wire) and in-order delivery. May corrupt the payload per the injected
@@ -61,6 +73,7 @@ class Link {
   const NetParams& params_;
   sim::Rng& rng_;
   Endpoint* dst_ = nullptr;
+  int id_ = -1;
   sim::Tick busy_until_ = 0;
   std::uint64_t packets_ = 0;
   std::uint64_t bytes_ = 0;
@@ -88,6 +101,12 @@ class Switch : public Endpoint {
 
   void OnPacket(Packet packet, sim::Tick tail_time) override;
 
+  // Installed by the Fabric: invoked with every packet this switch
+  // discards, so the drop can be propagated back to the source NIC.
+  void set_drop_handler(std::function<void(Packet&&)> handler) {
+    drop_handler_ = std::move(handler);
+  }
+
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t forwarded() const { return forwarded_; }
 
@@ -101,6 +120,7 @@ class Switch : public Endpoint {
   const NetParams& params_;
   int id_;
   std::vector<Link*> out_links_;
+  std::function<void(Packet&&)> drop_handler_;
   std::uint64_t dropped_ = 0;
   std::uint64_t forwarded_ = 0;
   obs::Counter* forwarded_m_ = nullptr;
@@ -143,6 +163,12 @@ class Fabric {
   Result<Route> ComputeRoute(int src_nic, int dst_nic) const;
 
   std::uint64_t total_link_packets() const;
+  std::uint64_t drop_notices() const { return drop_notices_; }
+
+  // Test hook: overwrite the first route byte of the next `count` packets
+  // `nic_id` injects with an invalid port, so the first switch discards
+  // them — a deterministic way to exercise the misroute drop-notice path.
+  void CorruptNextRoutes(int nic_id, int count);
 
  private:
   // Graph vertex encoding: 0..S-1 switches, S..S+N-1 NICs.
@@ -166,8 +192,13 @@ class Fabric {
   std::vector<NicAttachment> nics_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::vector<GraphEdge>> graph_;  // adjacency by vertex
+  std::uint64_t drop_notices_ = 0;
+  std::vector<int> corrupt_next_;  // per-nic pending route corruptions
 
   Link* NewLink();
+  // Delivers a switch-dropped packet back to its source NIC's
+  // OnPacketDropped (through the event queue, so ordering stays FIFO).
+  void NotifyDrop(Packet&& packet);
   int SwitchVertex(int switch_id) const { return switch_id; }
   int NicVertex(int nic_id) const { return num_switches() + nic_id; }
 };

@@ -155,6 +155,43 @@ struct LanaiParams {
 };
 
 // ---------------------------------------------------------------------------
+// LCP reliability protocol (beyond the paper: §4.2 detects CRC errors but
+// never recovers; this go-back-N layer retransmits so every VMMC send
+// survives injected faults — see DESIGN.md "Fault model and retransmission").
+// ---------------------------------------------------------------------------
+struct ReliabilityParams {
+  // Master switch. Off reproduces the paper exactly: corrupted or dropped
+  // chunks are counted and lost (kept for the abl_fault ablation and the
+  // §4.2-fidelity tests).
+  bool enabled = true;
+
+  // Go-back-N window per destination node, bounded globally by the SRAM
+  // retransmit pool below.
+  std::uint32_t window = 16;
+
+  // Retransmit pool in LANai SRAM: slots of (header + chunk_bytes) each,
+  // shared across destinations. The window closes when the pool is full.
+  std::uint32_t retx_pool_entries = 16;
+
+  // Cumulative-ACK policy: ack immediately after this many unacked data
+  // chunks, or when the delayed-ack timer expires. 8 = window/2 keeps the
+  // sender pipeline full while acks stay off the fast path (a per-chunk
+  // ack would knock the sender out of its §5.3 tight loop).
+  std::uint32_t ack_every = 8;
+  sim::Tick ack_delay = 50'000;  // 50 us
+
+  // Retransmit timeout with exponential backoff. RTT for a 4 KB chunk is
+  // ~40 us; 250 us tolerates delayed-ack batching without spurious resends.
+  sim::Tick rto = 250'000;
+  sim::Tick rto_max = 4'000'000;
+
+  // LANai costs: building/parsing an ACK is a few header words, much less
+  // than full recv_process.
+  sim::Tick ack_send = 300;
+  sim::Tick ack_process = 300;
+};
+
+// ---------------------------------------------------------------------------
 // VMMC protocol constants (§4.4, §4.5)
 // ---------------------------------------------------------------------------
 struct VmmcParams {
@@ -192,6 +229,9 @@ struct VmmcParams {
 
   // Use the tight sending loop when traffic is one-way (§5.3).
   bool tight_send_loop = true;
+
+  // Go-back-N retransmission layer (beyond the paper).
+  ReliabilityParams reliability;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,110 @@
+// Deterministic fault injection for the simulated platform.
+//
+// A FaultPlan describes what should go wrong — bit flips on fabric links
+// (caught by the CRC-8 at the receiving NIC), whole-packet drops, bounded
+// delivery jitter, and host-DMA engine stalls — and the FaultInjector,
+// owned by the Simulator, executes it under its own seeded Rng. Fault
+// decisions draw from that dedicated stream, so two runs with the same
+// seed and plan are byte-identical, and enabling faults does not perturb
+// any other random decision in the run.
+//
+// Hardware hooks query the injector at the point the fault would occur:
+// Link::Send consults OnLinkTransmit for every packet put on a wire, and
+// NicCard's host-DMA engines consult DmaStallDelay before each transfer.
+// An unconfigured injector answers "no fault" without touching the Rng.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vmmc/obs/metrics.h"
+#include "vmmc/sim/rng.h"
+#include "vmmc/sim/time.h"
+
+namespace vmmc::sim {
+
+// One fabric-link fault rule. Rules with link_id == -1 apply to every
+// link; a rule naming a specific link applies on top of (after) the
+// wildcard rules, so rates compose per packet.
+struct LinkFaultRule {
+  int link_id = -1;           // -1: all links
+  double bitflip_rate = 0.0;  // P(flip one payload bit) per packet
+  double drop_rate = 0.0;     // P(lose the packet on the wire) per packet
+  double delay_rate = 0.0;    // P(extra delivery jitter) per packet
+  Tick max_delay = 0;         // jitter drawn uniform in [1, max_delay]
+};
+
+// A host-DMA stall window on one node's NIC. The engine performs no
+// transfer while stalled; transfers issued inside a window wait for it to
+// close. With period > 0 the window recurs (start + k*period for all k).
+struct DmaStallRule {
+  int node_id = -1;  // -1: all nodes
+  Tick start = 0;
+  Tick duration = 0;
+  Tick period = 0;  // 0: one-shot
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0xFA017ull;
+  std::vector<LinkFaultRule> links;
+  std::vector<DmaStallRule> dma_stalls;
+
+  bool empty() const { return links.empty() && dma_stalls.empty(); }
+
+  // Convenience: one wildcard rule for every link.
+  static FaultPlan AllLinks(LinkFaultRule rule, std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    rule.link_id = -1;
+    plan.links.push_back(rule);
+    return plan;
+  }
+};
+
+class FaultInjector {
+ public:
+  // What happens to one packet on one link.
+  struct LinkVerdict {
+    bool drop = false;
+    bool corrupted = false;
+    Tick extra_delay = 0;
+  };
+
+  FaultInjector(const Tick* now, obs::Registry* metrics)
+      : now_(now), metrics_(metrics) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs `plan` and reseeds the fault Rng from plan.seed. Replaces any
+  // previous plan; an empty plan deactivates the injector.
+  void Configure(FaultPlan plan);
+  void Clear() { Configure(FaultPlan{}); }
+
+  bool active() const { return active_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  // Decides the fate of one packet entering link `link_id`. May flip one
+  // bit in `payload` (the receiver's CRC check then fails, as on real
+  // hardware). Counts into fault.injected.*.
+  LinkVerdict OnLinkTransmit(int link_id, std::vector<std::uint8_t>& payload);
+
+  // How long node `node_id`'s host-DMA engine must wait, from now, for the
+  // current stall window (if any) to close. 0 = not stalled.
+  Tick DmaStallDelay(int node_id);
+
+ private:
+  const Tick* now_;
+  obs::Registry* metrics_;
+  FaultPlan plan_;
+  Rng rng_;
+  bool active_ = false;
+
+  obs::Counter* bitflips_m_ = nullptr;
+  obs::Counter* drops_m_ = nullptr;
+  obs::Counter* delays_m_ = nullptr;
+  obs::Counter* delay_ns_m_ = nullptr;
+  obs::Counter* dma_stalls_m_ = nullptr;
+  obs::Counter* dma_stall_ns_m_ = nullptr;
+};
+
+}  // namespace vmmc::sim

@@ -16,6 +16,7 @@
 
 #include "vmmc/obs/metrics.h"
 #include "vmmc/obs/trace.h"
+#include "vmmc/sim/fault.h"
 #include "vmmc/sim/process.h"
 #include "vmmc/sim/time.h"
 
@@ -36,6 +37,11 @@ class Simulator {
   obs::Registry& metrics() { return metrics_; }
   const obs::Registry& metrics() const { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
+
+  // Fault injection (see sim/fault.h): hardware models consult this on
+  // their fault points; tests and benches install a FaultPlan through it.
+  FaultInjector& faults() { return faults_; }
+
   std::uint64_t events_processed() const { return processed_; }
   bool empty() const { return queue_.empty(); }
 
@@ -107,6 +113,7 @@ class Simulator {
   std::uint64_t processed_ = 0;
   obs::Registry metrics_;
   obs::Tracer tracer_{&now_};
+  FaultInjector faults_{&now_, &metrics_};
 };
 
 }  // namespace vmmc::sim

@@ -81,6 +81,16 @@ class Semaphore {
     return Awaiter{*this};
   }
 
+  // Non-blocking acquire: takes a permit if one is free and nobody is
+  // queued ahead; never suspends.
+  bool TryAcquire() {
+    if (count_ > 0 && waiters_.empty()) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
   void Release() {
     if (!waiters_.empty()) {
       // Hand the permit directly to the oldest waiter.

@@ -1,0 +1,84 @@
+// Go-back-N sequencing state machines for the LCP reliability layer.
+//
+// Pure protocol logic, no simulator or hardware dependencies: the LCP
+// embeds one GbnSender per destination node and one GbnReceiver per source
+// node (src/vmmc/lcp.cpp), and tests/property_test.cpp drives the same
+// classes against a reference in-order channel under random loss.
+//
+// Sequence numbers are 32-bit and compared with serial arithmetic, so the
+// space wraps safely as long as fewer than 2^31 packets are in flight —
+// the window is tiny (tens), so this always holds.
+#pragma once
+
+#include <cstdint>
+
+namespace vmmc::vmmc_core {
+
+// a < b in sequence space.
+inline bool SeqBefore(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+// Sender side for one destination: window accounting over a cumulative-ACK
+// channel. The caller owns the retransmit buffer; this class only tracks
+// [base, next) and how ACKs move base.
+class GbnSender {
+ public:
+  explicit GbnSender(std::uint32_t window) : window_(window) {}
+
+  std::uint32_t window() const { return window_; }
+  std::uint32_t base() const { return base_; }       // oldest unacked seq
+  std::uint32_t next_seq() const { return next_; }   // next seq to assign
+  std::uint32_t in_flight() const { return next_ - base_; }
+  bool has_unacked() const { return next_ != base_; }
+  bool can_send() const { return in_flight() < window_; }
+
+  // Assigns the sequence number for a new packet. Caller must have checked
+  // can_send().
+  std::uint32_t OnSend() { return next_++; }
+
+  // Cumulative ACK carrying the receiver's next expected seq. Returns how
+  // many packets it newly acknowledges (0 for duplicates / stale ACKs);
+  // the caller releases that many retransmit-buffer slots from the front.
+  std::uint32_t OnAck(std::uint32_t ack) {
+    if (!SeqBefore(base_, ack) || SeqBefore(next_, ack)) return 0;
+    const std::uint32_t newly = ack - base_;
+    base_ = ack;
+    return newly;
+  }
+
+ private:
+  std::uint32_t window_;
+  std::uint32_t base_ = 0;
+  std::uint32_t next_ = 0;
+};
+
+// Receiver side for one source: in-order filter and cumulative-ACK value.
+// Go-back-N keeps no reassembly buffer — anything but the next expected
+// sequence number is discarded and the sender retransmits from its base.
+class GbnReceiver {
+ public:
+  enum class Verdict {
+    kAccept,      // the expected packet: deliver, expected advances
+    kDuplicate,   // already delivered (retransmitted after a lost ACK)
+    kOutOfOrder,  // a gap upstream: discard, wait for the retransmission
+  };
+
+  std::uint32_t expected() const { return expected_; }
+  // The cumulative ACK to advertise: next expected seq.
+  std::uint32_t CumAck() const { return expected_; }
+
+  Verdict OnData(std::uint32_t seq) {
+    if (seq == expected_) {
+      ++expected_;
+      return Verdict::kAccept;
+    }
+    return SeqBefore(seq, expected_) ? Verdict::kDuplicate
+                                     : Verdict::kOutOfOrder;
+  }
+
+ private:
+  std::uint32_t expected_ = 0;
+};
+
+}  // namespace vmmc::vmmc_core

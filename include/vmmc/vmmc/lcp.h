@@ -33,6 +33,7 @@
 #include "vmmc/params.h"
 #include "vmmc/sim/sync.h"
 #include "vmmc/sim/task.h"
+#include "vmmc/vmmc/go_back_n.h"
 #include "vmmc/vmmc/page_tables.h"
 #include "vmmc/vmmc/sw_tlb.h"
 #include "vmmc/vmmc/wire.h"
@@ -94,6 +95,10 @@ class ProcState {
     SendRequest req;
     std::uint32_t offset = 0;
     bool first_chunk = true;
+    // Destination node, resolved at pickup. The main loop skips this
+    // process while the go-back-N window to that node is closed (a short
+    // send parks here too when it hits a closed window).
+    std::uint32_t dst_node = 0;
   };
   std::optional<ActiveLongSend> active;
 
@@ -122,6 +127,11 @@ class VmmcLcp : public lanai::Lcp {
 
   // --- LCP main loop (runs on the LANai) ---
   sim::Process Run(lanai::NicCard& nic) override;
+
+  // Fabric drop notice (misroute / empty route): triggers an immediate
+  // go-back-N retransmission toward that destination instead of waiting
+  // out the RTO.
+  void OnDropNotice(const myrinet::Packet& packet) override;
 
   // --- host-visible interface (driver / daemon / library reach these
   //     structures through PIO and shared SRAM; the callers charge the
@@ -161,6 +171,15 @@ class VmmcLcp : public lanai::Lcp {
     std::uint64_t notifications_raised = 0;
     std::uint64_t tight_loop_chunks = 0;
     std::uint64_t main_loop_chunks = 0;
+    // Reliability layer (go-back-N; 0 when reliability.enabled is false).
+    std::uint64_t acks_sent = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t retransmits = 0;          // data packets re-queued
+    std::uint64_t retransmit_timeouts = 0;  // RTO expiries
+    std::uint64_t duplicate_chunks = 0;     // receiver: already delivered
+    std::uint64_t out_of_order_chunks = 0;  // receiver: gap, discarded
+    std::uint64_t drop_notices = 0;         // fabric misroute reports
+    std::uint64_t window_stalls = 0;        // sends parked on a full window
   };
   const Stats& stats() const { return stats_; }
 
@@ -193,6 +212,28 @@ class VmmcLcp : public lanai::Lcp {
   sim::Process TxPump(lanai::NicCard& nic);
   ProcState* NextProcWithWork();
 
+  // --- reliability layer (go-back-N; see go_back_n.h and DESIGN.md) ---
+  bool reliable() const { return params_.vmmc.reliability.enabled; }
+  // Window + SRAM retransmit-pool admission for one more packet to `dst`.
+  bool WindowOpen(std::uint32_t dst_node) const;
+  // Assigns the next seq to `dst` (must match the seq already encoded in
+  // `packet`), stores the framed packet in the retransmit pool, and arms
+  // the RTO timer if this is the first unacked packet.
+  void RecordSentPacket(lanai::NicCard& nic, std::uint32_t dst_node,
+                        const myrinet::Packet& packet);
+  sim::Process HandleAck(lanai::NicCard& nic, lanai::ReceivedPacket rp);
+  // Builds and queues a cumulative ACK toward `src_node`; resets the
+  // delayed-ack state for that peer.
+  sim::Process SendAck(lanai::NicCard& nic, std::uint32_t src_node);
+  sim::Process DelayedAck(lanai::NicCard& nic, std::uint32_t src_node,
+                          std::uint64_t gen);
+  // Re-queues every unacked packet toward `dst` (go-back-N resend).
+  sim::Process RetransmitWindow(lanai::NicCard& nic, std::uint32_t dst_node);
+  sim::Process RtoTimer(lanai::NicCard& nic, std::uint32_t dst_node,
+                        std::uint64_t gen);
+  sim::Process FastRetransmit(lanai::NicCard& nic, std::uint32_t dst_node);
+  void ArmRtoTimer(lanai::NicCard& nic, std::uint32_t dst_node);
+
   const Params& params_;
   RouteTable routes_;
   lanai::NicCard* nic_ = nullptr;
@@ -210,6 +251,30 @@ class VmmcLcp : public lanai::Lcp {
   };
   std::unique_ptr<sim::Mailbox<TxItem>> tx_box_;
   std::unique_ptr<sim::Semaphore> staging_;  // 2 chunk staging buffers
+
+  // Per-peer go-back-N state, indexed by node id; sized at Run. The
+  // retransmit buffer lives in a shared SRAM pool of retx_pool_entries
+  // framed chunks (allocated at Run); retx_in_use_ tracks its occupancy.
+  struct RetxSlot {
+    myrinet::Packet packet;
+    std::uint32_t seq = 0;
+  };
+  struct PeerTx {
+    explicit PeerTx(std::uint32_t window) : gbn(window) {}
+    GbnSender gbn;
+    std::deque<RetxSlot> unacked;
+    sim::Tick cur_rto = 0;
+    std::uint64_t timer_gen = 0;  // bumping it cancels the armed timer
+    bool fast_retx_pending = false;  // coalesces bursts of drop notices
+  };
+  struct PeerRx {
+    GbnReceiver gbn;
+    std::uint32_t unacked_data = 0;  // accepted chunks since the last ACK
+    std::uint64_t ack_gen = 0;       // bumping it cancels the delayed ACK
+  };
+  std::vector<PeerTx> peer_tx_;
+  std::vector<PeerRx> peer_rx_;
+  std::uint32_t retx_in_use_ = 0;
 
   // Observability (node<N>.lcp.* / node<N>.tlb.*), bound in Run once the
   // node id is known. The raw Stats struct stays the cheap test-facing
@@ -230,6 +295,15 @@ class VmmcLcp : public lanai::Lcp {
     obs::Counter* tlb_hits = nullptr;
     obs::Counter* tlb_misses = nullptr;
     obs::Counter* tlb_evictions = nullptr;
+    obs::Counter* acks_sent = nullptr;
+    obs::Counter* acks_received = nullptr;
+    obs::Counter* retransmits = nullptr;
+    obs::Counter* retransmit_timeouts = nullptr;
+    obs::Counter* duplicate_chunks = nullptr;
+    obs::Counter* out_of_order_chunks = nullptr;
+    obs::Counter* drop_notices = nullptr;
+    obs::Counter* window_stalls = nullptr;
+    obs::Gauge* retx_in_use = nullptr;
     int track = -1;  // "node<N>.lcp" span track
   };
   void BindObs();

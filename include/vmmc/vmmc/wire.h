@@ -24,15 +24,21 @@ enum class PacketType : std::uint8_t {
   kData = 1,       // VMMC chunk
   kMapProbe = 2,   // network-mapping probe
   kMapReply = 3,   // network-mapping reply
+  kAck = 4,        // cumulative acknowledgment (reliability layer)
 };
 
 struct ChunkHeader {
-  static constexpr std::size_t kWireSize = 32;
+  static constexpr std::size_t kWireSize = 40;
 
   PacketType type = PacketType::kData;
   std::uint8_t flags = 0;
   static constexpr std::uint8_t kFlagLastChunk = 0x01;
   static constexpr std::uint8_t kFlagNotify = 0x02;
+  // Set on chunks carried by the go-back-N layer: seq/dst_node are live
+  // and the receiver runs duplicate/ordering checks and sends ACKs. Off
+  // for mapping traffic and the compat layers, which keep their own
+  // delivery semantics over the same framing.
+  static constexpr std::uint8_t kFlagReliable = 0x04;
 
   std::uint16_t src_node = 0;
   std::uint32_t msg_len = 0;    // total message length in bytes
@@ -41,8 +47,16 @@ struct ChunkHeader {
   std::uint64_t dst_pa1 = 0;    // second scatter target (0: none)
   std::uint32_t tag = 0;        // sender-side bookkeeping (mapping: probe id)
 
+  // Reliability layer (kFlagReliable / kAck only). For data: the per-
+  // {src_node -> dst_node} go-back-N sequence number. For an ACK: the
+  // cumulative acknowledgment — the next sequence number the acking node
+  // (src_node) expects from dst_node.
+  std::uint32_t seq = 0;
+  std::uint16_t dst_node = 0;
+
   bool last_chunk() const { return flags & kFlagLastChunk; }
   bool notify() const { return flags & kFlagNotify; }
+  bool reliable() const { return flags & kFlagReliable; }
 
   // Scatter split: how many of chunk_len bytes go to dst_pa0. The first
   // segment runs to the end of dst_pa0's page if a second address is set.

@@ -77,6 +77,10 @@ void NicCard::OnPacket(myrinet::Packet packet, sim::Tick tail_time) {
   });
 }
 
+void NicCard::OnPacketDropped(const myrinet::Packet& packet) {
+  if (lcp_ != nullptr) lcp_->OnDropNotice(packet);
+}
+
 sim::Process NicCard::NetSend(myrinet::Packet packet) {
   auto lock = co_await sim::ScopedAcquire(net_tx_engine_);
   auto span = obs_bound_ ? sim_.tracer().Scope(net_tx_obs_.track, "net_send")
@@ -103,6 +107,11 @@ sim::Process NicCard::HostDmaRead(mem::PhysAddr src, std::vector<std::uint8_t>& 
                   ? sim_.tracer().Scope(host_dma_obs_.track, "host_dma_read")
                   : obs::Tracer::Span();
   const sim::Tick t0 = sim_.now();
+  // Injected DMA-engine stall (sim/fault.h): the engine holds the transfer
+  // until the stall window closes.
+  if (const sim::Tick stall = sim_.faults().DmaStallDelay(nic_id_); stall > 0) {
+    co_await sim_.Delay(stall);
+  }
   co_await machine_.pci().Dma(len);
   out.resize(len);
   Status s = machine_.memory().Read(src, out);
@@ -118,6 +127,9 @@ sim::Process NicCard::HostDmaWrite(mem::PhysAddr dst,
                   ? sim_.tracer().Scope(host_dma_obs_.track, "host_dma_write")
                   : obs::Tracer::Span();
   const sim::Tick t0 = sim_.now();
+  if (const sim::Tick stall = sim_.faults().DmaStallDelay(nic_id_); stall > 0) {
+    co_await sim_.Delay(stall);
+  }
   co_await machine_.pci().Dma(in.size());
   Status s = machine_.memory().Write(dst, in);
   assert(s.ok() && "host DMA write to bad physical address");

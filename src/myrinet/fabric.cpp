@@ -50,6 +50,15 @@ void Link::Send(Packet packet) {
     packet.payload[i] ^= 0x01u << rng_.UniformU64(8);
   }
 
+  // Planned fault injection (sim/fault.h): bit flips, wire drops and
+  // delivery jitter, decided per packet from the injector's own seeded
+  // stream. Only the payload is touched — route bytes stay intact, so an
+  // injected fault can never redirect a DMA to the wrong node.
+  sim::FaultInjector::LinkVerdict fate;
+  if (sim_.faults().active()) {
+    fate = sim_.faults().OnLinkTransmit(id_, packet.payload);
+  }
+
   // Blocked time: how long the packet waited for the wire to free up.
   const sim::Tick start = std::max(sim_.now(), busy_until_);
   const sim::Tick blocked = start - sim_.now();
@@ -58,8 +67,12 @@ void Link::Send(Packet packet) {
   const sim::Tick ser = sim::NsForBytes(packet.wire_bytes(), params_.link_mb_s);
   ser_ns_m_->Inc(static_cast<std::uint64_t>(ser));
   busy_until_ = start + ser;
-  const sim::Tick head = start + params_.link_latency;
-  const sim::Tick tail = start + ser + params_.link_latency;
+  // A dropped packet occupied the wire but its tail never arrives anywhere;
+  // recovery is the sender's retransmission timeout, exactly as for a real
+  // mid-flight loss.
+  if (fate.drop) return;
+  const sim::Tick head = start + params_.link_latency + fate.extra_delay;
+  const sim::Tick tail = start + ser + params_.link_latency + fate.extra_delay;
 
   sim_.At(head, [dst = dst_, pkt = std::move(packet), tail]() mutable {
     dst->OnPacket(std::move(pkt), tail);
@@ -71,6 +84,7 @@ void Switch::OnPacket(Packet packet, sim::Tick tail_time) {
     ++dropped_;
     if (dropped_m_ != nullptr) dropped_m_->Inc();
     VMMC_LOG(kWarn, "switch") << "switch " << id_ << ": packet with empty route dropped";
+    if (drop_handler_) drop_handler_(std::move(packet));
     return;
   }
   const int port = packet.route.front();
@@ -80,6 +94,7 @@ void Switch::OnPacket(Packet packet, sim::Tick tail_time) {
     if (dropped_m_ != nullptr) dropped_m_->Inc();
     VMMC_LOG(kWarn, "switch") << "switch " << id_ << ": invalid output port "
                               << port << ", packet dropped";
+    if (drop_handler_) drop_handler_(std::move(packet));
     return;
   }
   ++forwarded_;
@@ -92,10 +107,23 @@ void Switch::OnPacket(Packet packet, sim::Tick tail_time) {
           [out, pkt = std::move(packet)]() mutable { out->Send(std::move(pkt)); });
 }
 
+void Fabric::NotifyDrop(Packet&& packet) {
+  if (packet.src_nic < 0 || packet.src_nic >= num_nics()) return;
+  Endpoint* src = nics_[static_cast<std::size_t>(packet.src_nic)].endpoint;
+  if (src == nullptr) return;
+  ++drop_notices_;
+  sim_.metrics().GetCounter("fabric.drop_notices").Inc();
+  // Through the event queue: the switch is mid-OnPacket here, and the
+  // notice models an out-of-band backward signal, not a synchronous call
+  // into the source NIC.
+  sim_.Post([src, pkt = std::move(packet)]() { src->OnPacketDropped(pkt); });
+}
+
 Link* Fabric::NewLink() {
   const std::string prefix =
       "fabric.link" + std::to_string(links_.size()) + ".";
   links_.push_back(std::make_unique<Link>(sim_, params_, rng_));
+  links_.back()->set_id(static_cast<int>(links_.size()) - 1);
   obs::Registry& m = sim_.metrics();
   links_.back()->BindMetrics(&m.GetCounter(prefix + "packets"),
                              &m.GetCounter(prefix + "bytes"),
@@ -111,6 +139,8 @@ int Fabric::AddSwitch(int num_ports) {
   obs::Registry& m = sim_.metrics();
   switches_.back()->BindMetrics(&m.GetCounter(prefix + "forwarded"),
                                 &m.GetCounter(prefix + "dropped"));
+  switches_.back()->set_drop_handler(
+      [this](Packet&& pkt) { NotifyDrop(std::move(pkt)); });
   return id;
 }
 
@@ -168,9 +198,22 @@ Status Fabric::Inject(int nic_id, Packet packet) {
   NicAttachment& att = nics_[static_cast<std::size_t>(nic_id)];
   if (att.to_switch == nullptr) return FailedPrecondition("nic not connected");
   packet.src_nic = nic_id;
+  if (static_cast<std::size_t>(nic_id) < corrupt_next_.size() &&
+      corrupt_next_[static_cast<std::size_t>(nic_id)] > 0) {
+    --corrupt_next_[static_cast<std::size_t>(nic_id)];
+    if (!packet.route.empty()) packet.route.front() = 0x3F;  // invalid port
+  }
   packet.StampCrc();
   att.to_switch->Send(std::move(packet));
   return OkStatus();
+}
+
+void Fabric::CorruptNextRoutes(int nic_id, int count) {
+  if (nic_id < 0 || nic_id >= num_nics()) return;
+  if (corrupt_next_.size() < static_cast<std::size_t>(num_nics())) {
+    corrupt_next_.resize(static_cast<std::size_t>(num_nics()), 0);
+  }
+  corrupt_next_[static_cast<std::size_t>(nic_id)] = count;
 }
 
 Result<Route> Fabric::ComputeRoute(int src_nic, int dst_nic) const {

@@ -1,5 +1,6 @@
 #include "vmmc/vmmc/lcp.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -44,6 +45,15 @@ VmmcLcp::VmmcLcp(const Params& params, RouteTable routes)
   obs_.send_queue_depth = &g_unbound_gauge;
   obs_.host_dma_ns = &g_unbound_histo;
   obs_.translate_ns = &g_unbound_histo;
+  obs_.acks_sent = &g_unbound_counter;
+  obs_.acks_received = &g_unbound_counter;
+  obs_.retransmits = &g_unbound_counter;
+  obs_.retransmit_timeouts = &g_unbound_counter;
+  obs_.duplicate_chunks = &g_unbound_counter;
+  obs_.out_of_order_chunks = &g_unbound_counter;
+  obs_.drop_notices = &g_unbound_counter;
+  obs_.window_stalls = &g_unbound_counter;
+  obs_.retx_in_use = &g_unbound_gauge;
 }
 
 void VmmcLcp::BindObs() {
@@ -65,6 +75,15 @@ void VmmcLcp::BindObs() {
   obs_.tlb_hits = &m.GetCounter(node + ".tlb.hit");
   obs_.tlb_misses = &m.GetCounter(node + ".tlb.miss");
   obs_.tlb_evictions = &m.GetCounter(node + ".tlb.eviction");
+  obs_.acks_sent = &m.GetCounter(node + ".lcp.acks_sent");
+  obs_.acks_received = &m.GetCounter(node + ".lcp.acks_received");
+  obs_.retransmits = &m.GetCounter(node + ".lcp.retransmits");
+  obs_.retransmit_timeouts = &m.GetCounter(node + ".lcp.retransmit_timeouts");
+  obs_.duplicate_chunks = &m.GetCounter(node + ".lcp.duplicate_chunks");
+  obs_.out_of_order_chunks = &m.GetCounter(node + ".lcp.out_of_order_chunks");
+  obs_.drop_notices = &m.GetCounter(node + ".lcp.drop_notices");
+  obs_.window_stalls = &m.GetCounter(node + ".lcp.window_stalls");
+  obs_.retx_in_use = &m.GetGauge(node + ".lcp.retx_in_use");
   obs_.track = nic_->simulator().tracer().RegisterTrack(node + ".lcp");
 }
 
@@ -187,6 +206,26 @@ sim::Process VmmcLcp::Run(lanai::NicCard& nic) {
   incoming_ = std::make_unique<IncomingPageTable>(nic.machine().memory().num_frames());
   tx_box_ = std::make_unique<sim::Mailbox<TxItem>>(nic.simulator());
   staging_ = std::make_unique<sim::Semaphore>(nic.simulator(), 2);
+
+  // Go-back-N peer state, one sender/receiver pair per reachable node,
+  // and the shared SRAM retransmit pool backing the unacked packets.
+  const ReliabilityParams& rel = params_.vmmc.reliability;
+  peer_tx_.clear();
+  peer_rx_.clear();
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    peer_tx_.emplace_back(rel.window);
+    peer_rx_.emplace_back();
+  }
+  if (rel.enabled) {
+    auto pool = nic.sram().Allocate(
+        "retx-pool",
+        rel.retx_pool_entries *
+            (static_cast<std::uint32_t>(ChunkHeader::kWireSize) +
+             params_.vmmc.chunk_bytes));
+    assert(pool.ok() && "SRAM too small for the retransmit pool");
+    (void)pool;
+  }
+
   nic.simulator().Spawn(TxPump(nic));
   running_ = true;
 
@@ -228,10 +267,17 @@ ProcState* VmmcLcp::NextProcWithWork() {
   if (procs_.empty()) return nullptr;
   for (std::size_t i = 0; i < procs_.size(); ++i) {
     std::size_t idx = (rr_cursor_ + i) % procs_.size();
-    if (procs_[idx]->active.has_value() || !procs_[idx]->send_queue().empty()) {
-      rr_cursor_ = (idx + 1) % procs_.size();
-      return procs_[idx].get();
+    ProcState& p = *procs_[idx];
+    if (p.active.has_value()) {
+      // A send parked on a closed go-back-N window is not runnable until
+      // an ACK reopens the window; the inner loop re-polls after every
+      // received packet, so progress resumes as soon as the ACK lands.
+      if (reliable() && !WindowOpen(p.active->dst_node)) continue;
+    } else if (p.send_queue().empty()) {
+      continue;
     }
+    rr_cursor_ = (idx + 1) % procs_.size();
+    return &p;
   }
   return nullptr;
 }
@@ -343,11 +389,20 @@ sim::Process VmmcLcp::StartSend(lanai::NicCard& nic, ProcState& proc,
   }
 
   if (req.len <= params_.vmmc.short_send_max) {
-    co_await HandleShortSend(nic, proc, req);
+    if (!reliable() || WindowOpen(dst_node)) {
+      co_await HandleShortSend(nic, proc, req);
+    } else {
+      // Window to the destination is closed: park the short send as a
+      // degenerate active send; SendOneChunk dispatches it once an ACK
+      // reopens the window.
+      ++stats_.window_stalls;
+      obs_.window_stalls->Inc();
+      proc.active = ProcState::ActiveLongSend{std::move(req), 0, true, dst_node};
+    }
     co_return;
   }
   ++stats_.long_sends;
-  proc.active = ProcState::ActiveLongSend{std::move(req), 0, true};
+  proc.active = ProcState::ActiveLongSend{std::move(req), 0, true, dst_node};
 }
 
 sim::Process VmmcLcp::HandleShortSend(lanai::NicCard& nic, ProcState& proc,
@@ -376,10 +431,16 @@ sim::Process VmmcLcp::HandleShortSend(lanai::NicCard& nic, ProcState& proc,
   h.chunk_len = req.len;
   h.dst_pa0 = target.value().first;
   h.dst_pa1 = target.value().second;
+  if (reliable()) {
+    h.flags |= ChunkHeader::kFlagReliable;
+    h.dst_node = static_cast<std::uint16_t>(dst_node);
+    h.seq = peer_tx_[dst_node].gbn.next_seq();
+  }
 
   myrinet::Packet pkt;
   pkt.route = routes_[dst_node];
   pkt.payload = EncodeChunk(h, req.inline_data);
+  if (reliable()) RecordSentPacket(nic, dst_node, pkt);
 
   // Hand the packet to the transmit engine first; the completion word is
   // correct either way (the data already lives in SRAM, PIO-copied by the
@@ -396,6 +457,13 @@ sim::Process VmmcLcp::HandleShortSend(lanai::NicCard& nic, ProcState& proc,
 
 sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
   assert(proc.active.has_value());
+  if (proc.active->req.len <= params_.vmmc.short_send_max) {
+    // A short send parked on a closed window (StartSend); the scheduler
+    // only re-runs it once the window reopened.
+    co_await HandleShortSend(nic, proc, proc.active->req);
+    proc.active.reset();
+    co_return;
+  }
   auto span = obs_.track >= 0
                   ? nic.simulator().tracer().Scope(obs_.track, "chunk")
                   : obs::Tracer::Span();
@@ -446,6 +514,16 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
     proc.active.reset();
     co_return;
   }
+  as.dst_node = dst_node;
+  if (reliable() && !WindowOpen(dst_node)) {
+    // A proxy region can span imports from different nodes, so a later
+    // chunk may target a node whose window is closed even though the
+    // scheduler admitted the send by its previous destination. Park; the
+    // updated dst_node gates re-scheduling.
+    ++stats_.window_stalls;
+    obs_.window_stalls->Inc();
+    co_return;
+  }
 
   // Header preparation is overlapped with the previous chunk's host DMA
   // when precomputation is on (§4.5); the first header is always paid.
@@ -480,10 +558,16 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
   h.chunk_len = chunk_len;
   h.dst_pa0 = target.value().first;
   h.dst_pa1 = target.value().second;
+  if (reliable()) {
+    h.flags |= ChunkHeader::kFlagReliable;
+    h.dst_node = static_cast<std::uint16_t>(dst_node);
+    h.seq = peer_tx_[dst_node].gbn.next_seq();
+  }
 
   myrinet::Packet pkt;
   pkt.route = routes_[dst_node];
   pkt.payload = EncodeChunk(h, data);
+  if (reliable()) RecordSentPacket(nic, dst_node, pkt);
 
   ++stats_.chunks_sent;
   stats_.bytes_sent += chunk_len;
@@ -503,6 +587,16 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
 // ---------------------------------------------------------------------------
 
 sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) {
+  // ACKs take a slim dedicated path: no state-machine charge, and the work
+  // token their arrival posted is retired here, so ACK traffic does not
+  // knock an ongoing send out of the tight loop (§5.3) for the rest of the
+  // message the way real incoming data does.
+  if (rp.crc_ok && !rp.packet.payload.empty() &&
+      rp.packet.payload[0] == static_cast<std::uint8_t>(PacketType::kAck)) {
+    nic.TryConsumeWorkToken();
+    co_await HandleAck(nic, std::move(rp));
+    co_return;
+  }
   auto span = obs_.track >= 0
                   ? nic.simulator().tracer().Scope(obs_.track, "recv")
                   : obs::Tracer::Span();
@@ -532,6 +626,47 @@ sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) 
   }
   const ChunkHeader& h = decoded->header;
   if (h.type != PacketType::kData) co_return;  // mapping traffic: not ours
+
+  if (h.reliable()) {
+    // A misrouted or corrupted-header delivery: never apply, never ACK —
+    // acknowledging somebody else's sequence number would poison both
+    // go-back-N channels.
+    if (h.dst_node != static_cast<std::uint16_t>(nic.nic_id()) ||
+        h.src_node >= peer_rx_.size()) {
+      ++stats_.protection_violations;
+      obs_.protection_violations->Inc();
+      co_return;
+    }
+    PeerRx& rx = peer_rx_[h.src_node];
+    switch (rx.gbn.OnData(h.seq)) {
+      case GbnReceiver::Verdict::kAccept:
+        break;
+      case GbnReceiver::Verdict::kDuplicate:
+        // Already delivered; the ACK that should have advanced the sender
+        // was lost or is still in flight. Re-ACK immediately.
+        ++stats_.duplicate_chunks;
+        obs_.duplicate_chunks->Inc();
+        co_await SendAck(nic, h.src_node);
+        co_return;
+      case GbnReceiver::Verdict::kOutOfOrder:
+        // A gap upstream: discard and re-advertise what we still expect so
+        // the sender goes back without waiting out its RTO.
+        ++stats_.out_of_order_chunks;
+        obs_.out_of_order_chunks->Inc();
+        co_await SendAck(nic, h.src_node);
+        co_return;
+    }
+    // Accepted: the sequence number is consumed even if the protection
+    // checks below reject the chunk — retransmitting a chunk the importer
+    // has revoked would retry forever.
+    ++rx.unacked_data;
+    if (rx.unacked_data >= params_.vmmc.reliability.ack_every) {
+      co_await SendAck(nic, h.src_node);
+    } else if (rx.unacked_data == 1) {
+      ++rx.ack_gen;
+      nic.simulator().Spawn(DelayedAck(nic, h.src_node, rx.ack_gen));
+    }
+  }
 
   // Check the incoming page table before any DMA touches host memory: a
   // frame may be written only if its export enabled reception (§4.4).
@@ -573,6 +708,171 @@ sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) 
     co_await nic.cpu().Exec(params_.lanai.raise_interrupt);
     nic.RaiseHostInterrupt();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Reliability layer: go-back-N over the lossy fabric (see DESIGN.md).
+//
+// Every reliable data packet carries a per-{src,dst} sequence number and a
+// copy lives in the SRAM retransmit pool until the destination's cumulative
+// ACK covers it. Loss is repaired three ways: the receiver re-ACKs on
+// duplicates and gaps, the fabric's drop notice triggers a fast window
+// resend, and a per-destination RTO timer (exponential backoff) catches
+// everything else, including lost ACKs.
+// ---------------------------------------------------------------------------
+
+bool VmmcLcp::WindowOpen(std::uint32_t dst_node) const {
+  // Invalid destinations are rejected by the send path itself.
+  if (dst_node >= peer_tx_.size()) return true;
+  return peer_tx_[dst_node].gbn.can_send() &&
+         retx_in_use_ < params_.vmmc.reliability.retx_pool_entries;
+}
+
+void VmmcLcp::RecordSentPacket(lanai::NicCard& nic, std::uint32_t dst_node,
+                               const myrinet::Packet& packet) {
+  PeerTx& tx = peer_tx_[dst_node];
+  const bool first_unacked = !tx.gbn.has_unacked();
+  const std::uint32_t seq = tx.gbn.OnSend();
+  tx.unacked.push_back(RetxSlot{packet, seq});
+  ++retx_in_use_;
+  obs_.retx_in_use->Set(nic.simulator().now(),
+                        static_cast<double>(retx_in_use_));
+  if (first_unacked) {
+    tx.cur_rto = params_.vmmc.reliability.rto;
+    ArmRtoTimer(nic, dst_node);
+  }
+}
+
+sim::Process VmmcLcp::HandleAck(lanai::NicCard& nic, lanai::ReceivedPacket rp) {
+  co_await nic.cpu().Exec(params_.vmmc.reliability.ack_process);
+  auto decoded = DecodeChunk(rp.packet.payload);
+  if (!decoded.has_value()) co_return;
+  const ChunkHeader& h = decoded->header;
+  // src_node is the acking receiver; h.seq is the next sequence number it
+  // expects from us.
+  if (h.type != PacketType::kAck ||
+      h.dst_node != static_cast<std::uint16_t>(nic.nic_id()) ||
+      h.src_node >= peer_tx_.size()) {
+    co_return;
+  }
+  ++stats_.acks_received;
+  obs_.acks_received->Inc();
+  PeerTx& tx = peer_tx_[h.src_node];
+  const std::uint32_t newly = tx.gbn.OnAck(h.seq);
+  if (newly == 0) co_return;
+  for (std::uint32_t i = 0; i < newly && !tx.unacked.empty(); ++i) {
+    tx.unacked.pop_front();
+  }
+  retx_in_use_ -= std::min(newly, retx_in_use_);
+  obs_.retx_in_use->Set(nic.simulator().now(),
+                        static_cast<double>(retx_in_use_));
+  // Progress: the backoff resets and the timer restarts from now; a fully
+  // drained window needs no timer at all.
+  tx.cur_rto = params_.vmmc.reliability.rto;
+  if (tx.gbn.has_unacked()) {
+    ArmRtoTimer(nic, h.src_node);
+  } else {
+    ++tx.timer_gen;  // cancel the armed timer
+  }
+}
+
+sim::Process VmmcLcp::SendAck(lanai::NicCard& nic, std::uint32_t src_node) {
+  PeerRx& rx = peer_rx_[src_node];
+  rx.unacked_data = 0;
+  ++rx.ack_gen;  // cancels a delayed ACK in flight
+  co_await nic.cpu().Exec(params_.vmmc.reliability.ack_send);
+  ChunkHeader h;
+  h.type = PacketType::kAck;
+  h.flags = ChunkHeader::kFlagReliable;
+  h.src_node = static_cast<std::uint16_t>(nic.nic_id());
+  h.dst_node = static_cast<std::uint16_t>(src_node);
+  h.seq = rx.gbn.CumAck();
+  myrinet::Packet pkt;
+  pkt.route = routes_[src_node];
+  pkt.payload = EncodeChunk(h, {});
+  ++stats_.acks_sent;
+  obs_.acks_sent->Inc();
+  tx_box_->Put(TxItem{std::move(pkt), /*release_staging=*/false});
+}
+
+sim::Process VmmcLcp::DelayedAck(lanai::NicCard& nic, std::uint32_t src_node,
+                                 std::uint64_t gen) {
+  co_await nic.simulator().Delay(params_.vmmc.reliability.ack_delay);
+  if (!running_) co_return;
+  PeerRx& rx = peer_rx_[src_node];
+  if (rx.ack_gen != gen || rx.unacked_data == 0) co_return;
+  co_await SendAck(nic, src_node);
+}
+
+sim::Process VmmcLcp::RetransmitWindow(lanai::NicCard& nic,
+                                      std::uint32_t dst_node) {
+  PeerTx& tx = peer_tx_[dst_node];
+  if (tx.unacked.empty()) co_return;
+  // Snapshot first: an ACK landing during the Exec below pops the deque.
+  std::vector<myrinet::Packet> resend;
+  resend.reserve(tx.unacked.size());
+  for (const RetxSlot& slot : tx.unacked) resend.push_back(slot.packet);
+  co_await nic.cpu().Exec(params_.lanai.header_prep *
+                          static_cast<sim::Tick>(resend.size()));
+  for (myrinet::Packet& pkt : resend) {
+    ++stats_.retransmits;
+    obs_.retransmits->Inc();
+    tx_box_->Put(TxItem{std::move(pkt), /*release_staging=*/false});
+  }
+}
+
+sim::Process VmmcLcp::RtoTimer(lanai::NicCard& nic, std::uint32_t dst_node,
+                               std::uint64_t gen) {
+  co_await nic.simulator().Delay(peer_tx_[dst_node].cur_rto);
+  if (!running_) co_return;
+  PeerTx& tx = peer_tx_[dst_node];
+  if (tx.timer_gen != gen || !tx.gbn.has_unacked()) co_return;
+  ++stats_.retransmit_timeouts;
+  obs_.retransmit_timeouts->Inc();
+  tx.cur_rto =
+      std::min<sim::Tick>(tx.cur_rto * 2, params_.vmmc.reliability.rto_max);
+  co_await RetransmitWindow(nic, dst_node);
+  ArmRtoTimer(nic, dst_node);
+}
+
+sim::Process VmmcLcp::FastRetransmit(lanai::NicCard& nic,
+                                     std::uint32_t dst_node) {
+  PeerTx& tx = peer_tx_[dst_node];
+  tx.fast_retx_pending = false;
+  if (!tx.gbn.has_unacked()) co_return;
+  co_await RetransmitWindow(nic, dst_node);
+  ArmRtoTimer(nic, dst_node);
+}
+
+// Arming always supersedes: the generation bump kills every older timer,
+// so exactly one RTO timer per destination is ever live.
+void VmmcLcp::ArmRtoTimer(lanai::NicCard& nic, std::uint32_t dst_node) {
+  PeerTx& tx = peer_tx_[dst_node];
+  ++tx.timer_gen;
+  nic.simulator().Spawn(RtoTimer(nic, dst_node, tx.timer_gen));
+}
+
+void VmmcLcp::OnDropNotice(const myrinet::Packet& packet) {
+  ++stats_.drop_notices;
+  obs_.drop_notices->Inc();
+  if (!running_ || !reliable() || nic_ == nullptr) return;
+  auto decoded = DecodeChunk(packet.payload);
+  if (!decoded.has_value()) return;
+  const ChunkHeader& h = decoded->header;
+  // Dropped ACKs are left to the receiver's re-ACK-on-duplicate path.
+  if (h.type != PacketType::kData || !h.reliable()) return;
+  if (h.src_node != static_cast<std::uint16_t>(nic_->nic_id())) return;
+  const std::uint32_t dst = h.dst_node;
+  if (dst >= peer_tx_.size()) return;
+  PeerTx& tx = peer_tx_[dst];
+  // React only to a drop of something still unacked, and coalesce bursts:
+  // one fast resend covers the whole window.
+  if (!tx.gbn.has_unacked() || tx.fast_retx_pending) return;
+  if (SeqBefore(h.seq, tx.gbn.base()) || !SeqBefore(h.seq, tx.gbn.next_seq())) {
+    return;
+  }
+  tx.fast_retx_pending = true;
+  nic_->simulator().Spawn(FastRetransmit(*nic_, dst));
 }
 
 }  // namespace vmmc::vmmc_core

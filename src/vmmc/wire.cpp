@@ -41,6 +41,9 @@ std::vector<std::uint8_t> EncodeChunk(const ChunkHeader& header,
   PutU64(&out[12], header.dst_pa0);
   PutU64(&out[20], header.dst_pa1);
   PutU32(&out[28], header.tag);
+  PutU32(&out[32], header.seq);
+  PutU16(&out[36], header.dst_node);
+  // bytes 38..39: reserved, zero
   if (!data.empty()) {
     std::memcpy(out.data() + ChunkHeader::kWireSize, data.data(), data.size());
   }
@@ -54,7 +57,8 @@ std::optional<DecodedChunk> DecodeChunk(std::span<const std::uint8_t> payload) {
   const std::uint8_t type = payload[0];
   if (type != static_cast<std::uint8_t>(PacketType::kData) &&
       type != static_cast<std::uint8_t>(PacketType::kMapProbe) &&
-      type != static_cast<std::uint8_t>(PacketType::kMapReply)) {
+      type != static_cast<std::uint8_t>(PacketType::kMapReply) &&
+      type != static_cast<std::uint8_t>(PacketType::kAck)) {
     return std::nullopt;
   }
   h.type = static_cast<PacketType>(type);
@@ -65,6 +69,8 @@ std::optional<DecodedChunk> DecodeChunk(std::span<const std::uint8_t> payload) {
   h.dst_pa0 = GetU64(&payload[12]);
   h.dst_pa1 = GetU64(&payload[20]);
   h.tag = GetU32(&payload[28]);
+  h.seq = GetU32(&payload[32]);
+  h.dst_node = GetU16(&payload[36]);
   if (payload.size() != ChunkHeader::kWireSize + h.chunk_len) return std::nullopt;
   out.data = payload.subspan(ChunkHeader::kWireSize);
   return out;

@@ -16,9 +16,12 @@
 #include <set>
 #include <vector>
 
+#include <deque>
+
 #include "vmmc/lanai/sram.h"
 #include "vmmc/myrinet/fabric.h"
 #include "vmmc/sim/rng.h"
+#include "vmmc/vmmc/go_back_n.h"
 #include "vmmc/vmmc/sw_tlb.h"
 #include "vmmc/vrpc/xdr.h"
 
@@ -320,6 +323,108 @@ TEST(CrcPropertyTest, DetectsAllDoubleBitErrorsInShortSpans) {
   // reliance on CRC detection.
   EXPECT_EQ(undetected, 0);
 }
+
+// ---------------------------------------------------------------------------
+// Go-back-N state machines (vmmc/go_back_n.h) against a reference in-order
+// channel under random loss: everything sent is delivered exactly once, in
+// order, with no duplicates — for any window size, loss rate and seed.
+// ---------------------------------------------------------------------------
+
+TEST(GbnArithmeticTest, SerialComparisonWrapsSafely) {
+  using vmmc_core::SeqBefore;
+  EXPECT_TRUE(SeqBefore(0, 1));
+  EXPECT_FALSE(SeqBefore(1, 0));
+  EXPECT_FALSE(SeqBefore(5, 5));
+  // Across the 32-bit wrap: 0xFFFFFFFF precedes 0.
+  EXPECT_TRUE(SeqBefore(0xFFFFFFFFu, 0));
+  EXPECT_FALSE(SeqBefore(0, 0xFFFFFFFFu));
+  EXPECT_TRUE(SeqBefore(0xFFFFFFF0u, 0x0000000Fu));
+}
+
+TEST(GbnArithmeticTest, StaleAndFutureAcksAreRejected) {
+  using vmmc_core::GbnSender;
+  GbnSender s(4);
+  EXPECT_EQ(s.OnSend(), 0u);
+  EXPECT_EQ(s.OnSend(), 1u);
+  EXPECT_EQ(s.OnSend(), 2u);
+  EXPECT_EQ(s.OnAck(0), 0u);  // stale: acks nothing new
+  EXPECT_EQ(s.OnAck(4), 0u);  // beyond next_seq: bogus, ignored
+  EXPECT_EQ(s.OnAck(2), 2u);  // cumulative: covers seqs 0 and 1
+  EXPECT_EQ(s.base(), 2u);
+  EXPECT_EQ(s.OnAck(2), 0u);  // duplicate ACK
+  EXPECT_EQ(s.OnAck(3), 1u);
+  EXPECT_FALSE(s.has_unacked());
+}
+
+class GbnPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GbnPropertyTest, LossyChannelDeliversExactlyOnceInOrder) {
+  sim::Rng rng(GetParam());
+  using vmmc_core::GbnReceiver;
+  using vmmc_core::GbnSender;
+
+  const std::uint32_t window = 1 + static_cast<std::uint32_t>(rng.UniformU64(15));
+  const double loss = 0.05 + 0.40 * (static_cast<double>(rng.UniformU64(100)) / 100.0);
+  const std::uint32_t kMessages = 400;
+
+  GbnSender sender(window);
+  GbnReceiver receiver;
+  std::deque<std::uint32_t> unacked;  // the "retransmit buffer": seqs in order
+  std::deque<std::uint32_t> data_ch;  // FIFO wire, loss applied at entry
+  std::deque<std::uint32_t> ack_ch;
+  std::vector<std::uint32_t> delivered;
+
+  int rounds = 0;
+  while (delivered.size() < kMessages) {
+    ASSERT_LT(++rounds, 100'000) << "no forward progress (deadlock)";
+    // Sender fills the window with fresh packets.
+    while (sender.can_send() && sender.next_seq() < kMessages) {
+      const std::uint32_t seq = sender.OnSend();
+      unacked.push_back(seq);
+      if (!rng.Bernoulli(loss)) data_ch.push_back(seq);
+    }
+    ASSERT_EQ(unacked.size(), sender.in_flight());
+    ASSERT_LE(sender.in_flight(), window);
+
+    // The wire delivers a random prefix (partial rounds interleave the
+    // two directions).
+    std::uint64_t n_data = rng.UniformU64(data_ch.size() + 1);
+    while (n_data-- > 0 && !data_ch.empty()) {
+      const std::uint32_t seq = data_ch.front();
+      data_ch.pop_front();
+      if (receiver.OnData(seq) == GbnReceiver::Verdict::kAccept) {
+        delivered.push_back(seq);
+      }
+      if (!rng.Bernoulli(loss)) ack_ch.push_back(receiver.CumAck());
+    }
+    std::uint64_t n_ack = rng.UniformU64(ack_ch.size() + 1);
+    while (n_ack-- > 0 && !ack_ch.empty()) {
+      const std::uint32_t ack = ack_ch.front();
+      ack_ch.pop_front();
+      std::uint32_t newly = sender.OnAck(ack);
+      ASSERT_LE(newly, unacked.size());
+      while (newly-- > 0) unacked.pop_front();
+    }
+
+    // Timeout model: if both wires drained and progress stalled, the
+    // sender goes back and resends its whole window.
+    if (data_ch.empty() && ack_ch.empty() && sender.has_unacked()) {
+      for (std::uint32_t seq : unacked) {
+        if (!rng.Bernoulli(loss)) data_ch.push_back(seq);
+      }
+    }
+  }
+
+  // Exactly once, in order, nothing missing.
+  ASSERT_EQ(delivered.size(), kMessages);
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    ASSERT_EQ(delivered[i], i) << "duplicate or reorder at " << i;
+  }
+  EXPECT_EQ(receiver.CumAck(), kMessages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GbnPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
 }  // namespace
 }  // namespace vmmc

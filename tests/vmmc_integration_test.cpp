@@ -725,8 +725,11 @@ TEST_F(VmmcTest, CrcErrorsAreCountedAndDropped) {
   Boot();
   // Corrupt the network only after boot (the mapping phase needs working
   // probes; in the paper's deployment link errors during mapping would
-  // equally abort the boot).
+  // equally abort the boot). Reliability off: this test pins down the
+  // paper's original drop-and-count behavior (§4.2); the go-back-N layer
+  // has its own tests in fault_test.cpp.
   cluster_->mutable_params().net.packet_error_rate = 1.0;
+  cluster_->mutable_params().vmmc.reliability.enabled = false;
   auto recv = cluster_->OpenEndpoint(1, "receiver");
   auto send = cluster_->OpenEndpoint(0, "sender");
   ASSERT_TRUE(recv.ok() && send.ok());

@@ -151,6 +151,8 @@ TEST(WireTest, EncodeDecodeRoundTrip) {
   h.dst_pa0 = 0x12345678;
   h.dst_pa1 = 0xABCDEF000;
   h.tag = 99;
+  h.seq = 0xDEADBEEF;
+  h.dst_node = 7;
   std::vector<std::uint8_t> data(4096);
   std::iota(data.begin(), data.end(), 0);
 
@@ -161,13 +163,35 @@ TEST(WireTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded->header.type, PacketType::kData);
   EXPECT_TRUE(decoded->header.last_chunk());
   EXPECT_TRUE(decoded->header.notify());
+  EXPECT_FALSE(decoded->header.reliable());
   EXPECT_EQ(decoded->header.src_node, 3);
   EXPECT_EQ(decoded->header.msg_len, 100000u);
   EXPECT_EQ(decoded->header.chunk_len, 4096u);
   EXPECT_EQ(decoded->header.dst_pa0, 0x12345678u);
   EXPECT_EQ(decoded->header.dst_pa1, 0xABCDEF000u);
   EXPECT_EQ(decoded->header.tag, 99u);
+  EXPECT_EQ(decoded->header.seq, 0xDEADBEEFu);
+  EXPECT_EQ(decoded->header.dst_node, 7);
   EXPECT_TRUE(std::equal(data.begin(), data.end(), decoded->data.begin()));
+}
+
+TEST(WireTest, AckPacketsRoundTrip) {
+  ChunkHeader h;
+  h.type = PacketType::kAck;
+  h.flags = ChunkHeader::kFlagReliable;
+  h.src_node = 1;   // the acking receiver
+  h.dst_node = 0;   // the sender being acked
+  h.seq = 4242;     // cumulative: next expected
+  auto payload = EncodeChunk(h, {});
+  EXPECT_EQ(payload.size(), ChunkHeader::kWireSize);
+  auto decoded = DecodeChunk(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.type, PacketType::kAck);
+  EXPECT_TRUE(decoded->header.reliable());
+  EXPECT_EQ(decoded->header.seq, 4242u);
+  EXPECT_EQ(decoded->header.src_node, 1);
+  EXPECT_EQ(decoded->header.dst_node, 0);
+  EXPECT_TRUE(decoded->data.empty());
 }
 
 TEST(WireTest, MalformedPayloadsRejected) {
