@@ -24,18 +24,31 @@
 #include <string>
 #include <vector>
 
+#include "vmmc/sim/process.h"
 #include "vmmc/sim/task.h"
 #include "vmmc/vmmc/cluster.h"
 
 namespace vmmc::coll {
 
+struct CommOptions {
+  // false: Create() builds all N-1 point-to-point links up front (N^2
+  // exported buffers across the job — fine at paper scale). true: a
+  // link materializes on first SendTo/RecvFrom touching that peer, so a
+  // ring allreduce on 64 nodes sets up 2 links per rank instead of 63.
+  // Both sides of a lazy link converge because the import handshake
+  // waits for the peer's export.
+  bool lazy_links = false;
+};
+
 class Communicator {
  public:
+  using Options = CommOptions;
+
   // One call per rank; ranks are node ids. `tag` isolates independent
   // communicators in the daemon's export namespace.
   static sim::Task<Result<std::unique_ptr<Communicator>>> Create(
       vmmc_core::Cluster& cluster, int rank, int size,
-      std::string tag = "world");
+      std::string tag = "world", Options options = {});
 
   int rank() const { return rank_; }
   int size() const { return size_; }
@@ -61,6 +74,9 @@ class Communicator {
 
   // Number of collective operations completed (diagnostics).
   std::uint64_t operations() const { return operations_; }
+  // Point-to-point links established so far (== size-1 when eager; grows
+  // on demand when lazy).
+  int links_established() const { return static_cast<int>(links_.size()); }
 
   static constexpr std::uint32_t kMaxMessage = 64 * 1024;
 
@@ -83,12 +99,23 @@ class Communicator {
   };
 
   sim::Task<Status> SetupLink(int peer);
+  // Validates `peer` and, under Options::lazy_links, builds the link on
+  // first use.
+  sim::Task<Status> EnsureLink(int peer);
+  // Materializes the links to `a` and `b` concurrently. Needed before a
+  // cyclic exchange (ring step, barrier round) under lazy_links: each
+  // side's import handshake waits for the peer's export, so two setups
+  // that form a cycle across ranks deadlock when run sequentially.
+  sim::Task<Status> EnsureLinks(int a, int b);
+  static sim::Process EnsureOne(Communicator* self, int peer, int* pending,
+                                Status* first_error);
   std::uint32_t ReadWord(mem::VirtAddr va) const;
 
   vmmc_core::Cluster& cluster_;
   int rank_;
   int size_;
   std::string tag_;
+  Options options_;
   std::unique_ptr<vmmc_core::Endpoint> ep_;
   std::map<int, Link> links_;
   std::uint64_t operations_ = 0;

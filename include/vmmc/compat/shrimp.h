@@ -97,7 +97,8 @@ class ShrimpNic : public myrinet::Endpoint {
   sim::Process AutomaticUpdate(std::vector<std::uint8_t> data,
                                vmmc_core::ProxyAddr proxy);
 
-  void OnPacket(myrinet::Packet packet, sim::Tick tail_time) override;
+  void OnPacket(myrinet::Packet packet, sim::Tick tail_time,
+                myrinet::Link* from) override;
 
   struct Stats {
     std::uint64_t sends = 0;

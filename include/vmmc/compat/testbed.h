@@ -10,17 +10,32 @@
 #include "vmmc/host/machine.h"
 #include "vmmc/lanai/nic_card.h"
 #include "vmmc/myrinet/fabric.h"
+#include "vmmc/myrinet/topology.h"
 #include "vmmc/params.h"
 
 namespace vmmc::compat {
 
 class Testbed {
  public:
+  // Bare machines + NICs on a single 8-port crossbar (num_nodes <= 8) or,
+  // with the second constructor, on any shape topology.h can build.
   Testbed(sim::Simulator& sim, const Params& params, int num_nodes = 2)
+      : Testbed(sim, params,
+                [num_nodes] {
+                  myrinet::TopologyConfig cfg;
+                  cfg.kind = myrinet::TopologyKind::kSingleSwitch;
+                  cfg.num_nodes = num_nodes;
+                  return cfg;
+                }()) {}
+
+  Testbed(sim::Simulator& sim, const Params& params,
+          const myrinet::TopologyConfig& topology)
       : sim_(sim), params_(params) {
     fabric_ = std::make_unique<myrinet::Fabric>(sim_, params_.net);
-    myrinet::TopologyPlan plan = myrinet::BuildSingleSwitch(*fabric_, 8);
-    assert(num_nodes <= 8);
+    auto built = myrinet::BuildTopology(*fabric_, topology);
+    assert(built.ok() && "topology cannot host the requested node count");
+    myrinet::TopologyPlan plan = std::move(built).value();
+    const int num_nodes = topology.num_nodes;
     for (int i = 0; i < num_nodes; ++i) {
       machines_.push_back(std::make_unique<host::Machine>(sim_, params_, i));
       nics_.push_back(std::make_unique<lanai::NicCard>(sim_, params_,

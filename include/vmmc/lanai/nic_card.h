@@ -104,7 +104,8 @@ class NicCard : public myrinet::Endpoint {
 
   // ---- network side ----
   // Endpoint: head arrival of a packet destined for this NIC.
-  void OnPacket(myrinet::Packet packet, sim::Tick tail_time) override;
+  void OnPacket(myrinet::Packet packet, sim::Tick tail_time,
+                myrinet::Link* from) override;
 
   // Endpoint: a packet this NIC injected was dropped at a switch; relayed
   // to the loaded LCP so its recovery path (if any) can react.

@@ -1,0 +1,65 @@
+// Canned multi-switch topologies for the Myrinet fabric, scaling the
+// paper's 4-node/1-switch testbed to tens of nodes.
+//
+// A TopologyConfig (or its text form, see ParseTopologySpec) names a
+// shape; BuildTopology creates the switch mesh inside a Fabric, wires the
+// inter-switch links, and returns the (switch, port) slot where the i-th
+// NIC must attach — the cluster assembly registers NIC endpoints in that
+// order, so nic id i always sits in slot i. For the fat tree the builder
+// also installs a route oracle on the fabric (Fabric::SetRouteOracle)
+// that spreads traffic across spine switches deterministically by
+// (src + dst) % spines; plain BFS would funnel every inter-leaf route
+// through spine 0 and manufacture congestion that the real dispersive
+// routes of a Myrinet Clos network do not have. Ring and mesh rely on the
+// fabric's BFS, whose id-ordered tie-breaking is already deterministic.
+//
+// Shapes (p = ports per switch):
+//   kSingleSwitch  all nodes on one p-port crossbar (max p nodes).
+//   kChain         switches in a line, 2 ports reserved for neighbors;
+//                  p-2 nodes per switch.
+//   kFatTree       2-level Clos: p/2 leaf downlinks and p/2 spines, so
+//                  capacity is (p/2) * p nodes (8-port: 32; 16-port: 128).
+//                  Full bisection: any traffic permutation can be routed
+//                  without oversubscription.
+//   kRing          switches in a cycle, 2 ports for neighbors, p-2 nodes
+//                  per switch; BFS picks the shorter way round.
+//   kMesh          rows x cols grid, 4 ports for N/E/S/W neighbors, p-4
+//                  nodes per switch.
+#pragma once
+
+#include <string>
+
+#include "vmmc/myrinet/fabric.h"
+#include "vmmc/util/status.h"
+
+namespace vmmc::myrinet {
+
+enum class TopologyKind { kSingleSwitch, kChain, kFatTree, kRing, kMesh };
+
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::kSingleSwitch;
+  int num_nodes = 4;
+  int switch_ports = 8;  // crossbar radix (the paper's M2F-SW8 has 8)
+  // kChain / kRing: number of switches; 0 = fewest that fit num_nodes.
+  int num_switches = 0;
+  // kMesh: grid shape; 0 = squarest grid that fits num_nodes.
+  int mesh_rows = 0;
+  int mesh_cols = 0;
+};
+
+// Parses "kind:nodes[@ports]" — e.g. "single:4", "chain:12@8",
+// "fattree:16", "ring:8", "mesh:24@8". Switch counts / grid shape are
+// derived (the 0 defaults above).
+Result<TopologyConfig> ParseTopologySpec(const std::string& spec);
+
+// Human-readable "kind:nodes@ports" form (for bench table labels).
+std::string TopologySpecString(const TopologyConfig& config);
+
+// Builds the configured switch mesh in `fabric` (which must be empty),
+// wires inter-switch links, installs the fat-tree route oracle when
+// applicable, and returns one NIC slot per node, index == nic id.
+// Fails when the shape cannot host num_nodes (e.g. fat tree of 8-port
+// switches beyond 32 nodes) or the config is malformed.
+Result<TopologyPlan> BuildTopology(Fabric& fabric, const TopologyConfig& config);
+
+}  // namespace vmmc::myrinet

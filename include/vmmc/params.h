@@ -85,8 +85,18 @@ struct NetParams {
   // sub-microsecond switch latency).
   sim::Tick switch_latency = 300;
 
-  // Cable propagation per link.
+  // Cable propagation per link (ns).
   sim::Tick link_latency = 50;
+
+  // Per-output-port buffering inside a switch, in bytes (the slack that
+  // stands in for wormhole flit buffers; fitted — Myricom does not publish
+  // it). A routed packet that does not fit waits on its inbound wire,
+  // stalling that upstream link until the output drains: head-of-line
+  // blocking and incast tree-saturation emerge from this bound. A port
+  // always accepts at least one packet regardless of size (guarantees
+  // progress), and 0 disables the bound entirely (infinite buffering, the
+  // pre-multi-switch behaviour).
+  std::uint32_t switch_port_queue_bytes = 16 * 1024;
 
   // Injected bit-error probability per packet (0 in normal operation;
   // §4.2: error rate below 10^-15, errors are detected via CRC-8 but not

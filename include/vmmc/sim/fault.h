@@ -23,15 +23,33 @@
 
 namespace vmmc::sim {
 
-// One fabric-link fault rule. Rules with link_id == -1 apply to every
-// link; a rule naming a specific link applies on top of (after) the
-// wildcard rules, so rates compose per packet.
+// Where a packet currently is when a link-fault decision is made: the flat
+// fabric link id plus the link's topological origin — (switch, port) for a
+// link leaving a switch output port, or the source NIC id for the
+// NIC-to-switch injection link. Filled by the Fabric when the topology is
+// wired; links built outside a Fabric report all -1 and match only
+// wildcard rules.
+struct LinkSite {
+  int link_id = -1;
+  int switch_id = -1;  // origin switch, -1 for NIC-injection links
+  int port = -1;       // origin output port on switch_id
+  int src_nic = -1;    // origin NIC, -1 for switch-originated links
+};
+
+// One fabric-link fault rule. A rule applies to a packet when every
+// non-wildcard (-1) field matches the link's LinkSite, so a link can be
+// addressed by flat id, by topology position (switch, port), or by the
+// injecting NIC; all-wildcard rules apply to every link. Each matching
+// rule is applied in plan order, so rates compose per packet.
 struct LinkFaultRule {
-  int link_id = -1;           // -1: all links
+  int link_id = -1;           // -1: any link id
+  int switch_id = -1;         // -1: any origin switch (with `port` below)
+  int port = -1;              // -1: any output port of switch_id
+  int src_nic = -1;           // -1: any injecting NIC
   double bitflip_rate = 0.0;  // P(flip one payload bit) per packet
   double drop_rate = 0.0;     // P(lose the packet on the wire) per packet
   double delay_rate = 0.0;    // P(extra delivery jitter) per packet
-  Tick max_delay = 0;         // jitter drawn uniform in [1, max_delay]
+  Tick max_delay = 0;         // jitter drawn uniform in [1, max_delay] ns
 };
 
 // A host-DMA stall window on one node's NIC. The engine performs no
@@ -83,10 +101,11 @@ class FaultInjector {
   bool active() const { return active_; }
   const FaultPlan& plan() const { return plan_; }
 
-  // Decides the fate of one packet entering link `link_id`. May flip one
-  // bit in `payload` (the receiver's CRC check then fails, as on real
+  // Decides the fate of one packet entering the link at `site`. May flip
+  // one bit in `payload` (the receiver's CRC check then fails, as on real
   // hardware). Counts into fault.injected.*.
-  LinkVerdict OnLinkTransmit(int link_id, std::vector<std::uint8_t>& payload);
+  LinkVerdict OnLinkTransmit(const LinkSite& site,
+                             std::vector<std::uint8_t>& payload);
 
   // How long node `node_id`'s host-DMA engine must wait, from now, for the
   // current stall window (if any) to close. 0 = not stalled.

@@ -30,20 +30,25 @@
 
 namespace vmmc::vmmc_core {
 
+// Ticket for an asynchronous send: names the completion slot (and its
+// generation, so a recycled slot cannot satisfy a stale handle). Poll with
+// CheckSend, retire with WaitSend.
 struct SendHandle {
   std::uint32_t slot = 0;
   std::uint64_t generation = 0;
 };
 
+// Per-send flags.
 struct SendOptions {
-  bool notify = false;
+  bool notify = false;  // invoke the importer's notification handler (§2)
 };
 
+// Controls ImportBuffer's handling of a not-yet-exported name.
 struct ImportOptions {
   // Retry until the export appears (the exporter may not have run yet).
   bool wait = false;
-  int max_attempts = 200;
-  sim::Tick retry_interval = 500 * sim::kMicrosecond;
+  int max_attempts = 200;                             // retries before giving up
+  sim::Tick retry_interval = 500 * sim::kMicrosecond;  // between retries (ns tick)
 };
 
 class Endpoint {
@@ -68,19 +73,27 @@ class Endpoint {
   int node_id() const { return daemon_->node_id(); }
 
   // --- buffer management helpers (user-space malloc over the simulated
-  //     address space; page-aligned so buffers are exportable) ---
+  //     address space; page-aligned so buffers are exportable; `len` in
+  //     bytes) ---
   Result<mem::VirtAddr> AllocBuffer(std::uint32_t len);
   Status FreeBuffer(mem::VirtAddr va);
   Status WriteBuffer(mem::VirtAddr va, std::span<const std::uint8_t> data);
   Status ReadBuffer(mem::VirtAddr va, std::span<std::uint8_t> out) const;
 
   // --- export / import ---
+  // Offers [va, va+len) (page-aligned, len in bytes) as a receive buffer
+  // under options.name; pins the pages and enables them for receive.
   sim::Task<Result<ExportId>> ExportBuffer(mem::VirtAddr va, std::uint32_t len,
                                            ExportOptions options);
+  // Withdraws an export; in-flight deliveries to it become violations.
   sim::Task<Status> UnexportBuffer(ExportId id);
+  // Maps the buffer exported under `name` on `remote_node` into this
+  // process's destination proxy space; the returned proxy address is
+  // what SendMsg targets.
   sim::Task<Result<ImportedBuffer>> ImportBuffer(int remote_node,
                                                  const std::string& name,
                                                  ImportOptions options = {});
+  // Releases the proxy mapping (outgoing page-table entries).
   sim::Task<Status> UnimportBuffer(const ImportedBuffer& buffer);
 
   // --- data transfer ---

@@ -23,13 +23,22 @@
 
 namespace vmmc::vmmc_core {
 
-enum class Topology { kSingleSwitch, kSwitchChain };
+// Fabric shape the cluster stands up. The first two predate the general
+// topology builder (myrinet/topology.h) and keep their historical
+// behaviour; the rest map straight onto TopologyKind and scale to
+// tens of nodes (fat tree of 8-port switches: 32; of 16-port: 128).
+enum class Topology { kSingleSwitch, kSwitchChain, kFatTree, kRing, kMesh };
 
 struct ClusterOptions {
   int num_nodes = 4;  // the paper's testbed size
   Topology topology = Topology::kSingleSwitch;
   int chain_switches = 2;  // for kSwitchChain
+  int switch_ports = 8;    // crossbar radix for kFatTree/kRing/kMesh
   std::uint64_t mem_bytes_per_node = 16ull * 1024 * 1024;
+
+  // Shorthand for the scaling topologies: "fattree:16@8" etc., see
+  // myrinet::ParseTopologySpec.
+  static Result<ClusterOptions> FromSpec(const std::string& spec);
 };
 
 class Cluster {

@@ -19,6 +19,8 @@
 
 namespace vmmc::vmmc_core {
 
+// Node-local identifier of an exported receive buffer (assigned by the
+// exporting node's daemon; importers refer to exports by name, not id).
 using ExportId = std::uint32_t;
 
 // Import restrictions attached to an export (§2: "An exporter can restrict
@@ -44,14 +46,17 @@ struct ExportOptions {
   ExportAcl acl;
 };
 
+// What a successful import hands back: where the remote buffer begins in
+// the importer's destination proxy space, and its extent.
 struct ImportedBuffer {
-  ProxyAddr proxy_base = 0;
-  std::uint32_t len = 0;
-  int remote_node = -1;
+  ProxyAddr proxy_base = 0;  // first byte of the buffer in proxy space
+  std::uint32_t len = 0;     // bytes
+  int remote_node = -1;      // the exporting node
 };
 
 class VmmcDaemon {
  public:
+  // Well-known Ethernet port every daemon's server loop listens on.
   static constexpr std::uint16_t kPort = 700;
 
   VmmcDaemon(const Params& params, int node_id, host::Kernel& kernel,

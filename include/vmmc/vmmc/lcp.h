@@ -56,7 +56,7 @@ enum class SendStatus : std::uint32_t {
 // One entry of a per-process send queue. The host writes it with PIO; the
 // LCP consumes it.
 struct SendRequest {
-  std::uint32_t len = 0;
+  std::uint32_t len = 0;                   // message length in bytes
   ProxyAddr proxy = 0;
   mem::VirtAddr src_va = 0;                // long sends
   std::vector<std::uint8_t> inline_data;   // short sends

@@ -24,22 +24,57 @@ std::uint32_t Communicator::ReadWord(mem::VirtAddr va) const {
 }
 
 sim::Task<Result<std::unique_ptr<Communicator>>> Communicator::Create(
-    vmmc_core::Cluster& cluster, int rank, int size, std::string tag) {
+    vmmc_core::Cluster& cluster, int rank, int size, std::string tag,
+    Options options) {
   using Out = Result<std::unique_ptr<Communicator>>;
   if (size < 1 || rank < 0 || rank >= size || size > cluster.num_nodes()) {
     co_return Out(InvalidArgument("bad rank/size"));
   }
   std::unique_ptr<Communicator> comm(
       new Communicator(cluster, rank, size, std::move(tag)));
+  comm->options_ = options;
   auto ep = cluster.OpenEndpoint(rank, comm->tag_ + "-rank" + std::to_string(rank));
   if (!ep.ok()) co_return Out(ep.status());
   comm->ep_ = std::move(ep).value();
-  for (int peer = 0; peer < size; ++peer) {
-    if (peer == rank) continue;
-    Status s = co_await comm->SetupLink(peer);
-    if (!s.ok()) co_return Out(s);
+  if (!options.lazy_links) {
+    for (int peer = 0; peer < size; ++peer) {
+      if (peer == rank) continue;
+      Status s = co_await comm->SetupLink(peer);
+      if (!s.ok()) co_return Out(s);
+    }
   }
   co_return std::move(comm);
+}
+
+sim::Task<Status> Communicator::EnsureLink(int peer) {
+  if (peer < 0 || peer >= size_ || peer == rank_) {
+    co_return InvalidArgument("no link to that rank");
+  }
+  if (links_.find(peer) != links_.end()) co_return OkStatus();
+  if (!options_.lazy_links) co_return InvalidArgument("no link to that rank");
+  co_return co_await SetupLink(peer);
+}
+
+sim::Process Communicator::EnsureOne(Communicator* self, int peer,
+                                     int* pending, Status* first_error) {
+  Status s = co_await self->EnsureLink(peer);
+  if (!s.ok() && first_error->ok()) *first_error = s;
+  --*pending;
+}
+
+sim::Task<Status> Communicator::EnsureLinks(int a, int b) {
+  sim::Simulator& sim = cluster_.simulator();
+  int pending = 0;
+  Status first_error = OkStatus();
+  const int peers[2] = {a, a == b ? rank_ : b};  // rank_ entries are skipped
+  for (int peer : peers) {
+    if (peer == rank_) continue;
+    if (peer < 0 || peer >= size_) co_return InvalidArgument("bad rank");
+    ++pending;
+    sim.Spawn(EnsureOne(this, peer, &pending, &first_error));
+  }
+  while (pending > 0) co_await sim.Delay(500);
+  co_return first_error;
 }
 
 sim::Task<Status> Communicator::SetupLink(int peer) {
@@ -89,10 +124,10 @@ sim::Task<Status> Communicator::SetupLink(int peer) {
 }
 
 sim::Task<Status> Communicator::SendTo(int peer, std::span<const std::uint8_t> data) {
-  auto it = links_.find(peer);
-  if (it == links_.end()) co_return InvalidArgument("no link to that rank");
   if (data.size() > kMaxMessage) co_return InvalidArgument("message too large");
-  Link& link = it->second;
+  Status ready = co_await EnsureLink(peer);
+  if (!ready.ok()) co_return ready;
+  Link& link = links_.find(peer)->second;
   sim::Simulator& sim = cluster_.simulator();
 
   // Credit: the previous message on this link must have been consumed.
@@ -125,9 +160,9 @@ sim::Task<Status> Communicator::SendTo(int peer, std::span<const std::uint8_t> d
 
 sim::Task<Result<std::vector<std::uint8_t>>> Communicator::RecvFrom(int peer) {
   using Out = Result<std::vector<std::uint8_t>>;
-  auto it = links_.find(peer);
-  if (it == links_.end()) co_return Out(InvalidArgument("no link to that rank"));
-  Link& link = it->second;
+  Status ready = co_await EnsureLink(peer);
+  if (!ready.ok()) co_return Out(ready);
+  Link& link = links_.find(peer)->second;
   sim::Simulator& sim = cluster_.simulator();
 
   while (ReadWord(link.recv_slot + kTrailerOff + 4) != link.next_recv_seq) {
@@ -160,6 +195,9 @@ sim::Task<Status> Communicator::Barrier() {
     const int to = (rank_ + hop) % size_;
     const int from = (rank_ - hop % size_ + size_) % size_;
     if (to == rank_) continue;
+    // Round partners form a cycle across ranks; see EnsureLinks.
+    Status e = co_await EnsureLinks(to, from);
+    if (!e.ok()) co_return e;
     Status s = co_await SendTo(to, {});
     if (!s.ok()) co_return s;
     auto r = co_await RecvFrom(from);
@@ -322,6 +360,9 @@ sim::Task<Status> Communicator::AllReduceSum(std::vector<std::int64_t>& values) 
   const std::size_t chunk = n / static_cast<std::size_t>(size_);
   const int left = (rank_ + size_ - 1) % size_;
   const int right = (rank_ + 1) % size_;
+  // The ring neighbours form a cycle across ranks; see EnsureLinks.
+  Status e = co_await EnsureLinks(left, right);
+  if (!e.ok()) co_return e;
   std::vector<std::int64_t> incoming;
 
   for (int step = 0; step < size_ - 1; ++step) {

@@ -153,7 +153,8 @@ sim::Process ShrimpNic::AutomaticUpdate(std::vector<std::uint8_t> data,
   }
 }
 
-void ShrimpNic::OnPacket(myrinet::Packet packet, sim::Tick tail_time) {
+void ShrimpNic::OnPacket(myrinet::Packet packet, sim::Tick tail_time,
+                         myrinet::Link* /*from*/) {
   const sim::Tick wait = tail_time - sim_.now();
   sim_.In(wait > 0 ? wait : 0, [this, pkt = std::move(packet)]() mutable {
     sim_.Spawn(Receive(std::move(pkt)));

@@ -57,7 +57,8 @@ void NicCard::LoadLcp(std::unique_ptr<Lcp> lcp) {
   sim_.Spawn(raw->Run(*this));
 }
 
-void NicCard::OnPacket(myrinet::Packet packet, sim::Tick tail_time) {
+void NicCard::OnPacket(myrinet::Packet packet, sim::Tick tail_time,
+                       myrinet::Link* /*from*/) {
   // The packet is complete (and its CRC checkable) only once the tail has
   // been DMAed into SRAM by the receive engine.
   const sim::Tick done =

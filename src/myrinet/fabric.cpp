@@ -1,7 +1,6 @@
 #include "vmmc/myrinet/fabric.h"
 
 #include <cassert>
-#include <deque>
 #include <string>
 
 #include "vmmc/util/log.h"
@@ -56,7 +55,7 @@ void Link::Send(Packet packet) {
   // injected fault can never redirect a DMA to the wrong node.
   sim::FaultInjector::LinkVerdict fate;
   if (sim_.faults().active()) {
-    fate = sim_.faults().OnLinkTransmit(id_, packet.payload);
+    fate = sim_.faults().OnLinkTransmit(site_, packet.payload);
   }
 
   // Blocked time: how long the packet waited for the wire to free up.
@@ -65,6 +64,7 @@ void Link::Send(Packet packet) {
   blocked_ += blocked;
   blocked_ns_m_->Inc(static_cast<std::uint64_t>(blocked));
   const sim::Tick ser = sim::NsForBytes(packet.wire_bytes(), params_.link_mb_s);
+  ser_ += ser;
   ser_ns_m_->Inc(static_cast<std::uint64_t>(ser));
   busy_until_ = start + ser;
   // A dropped packet occupied the wire but its tail never arrives anywhere;
@@ -74,12 +74,12 @@ void Link::Send(Packet packet) {
   const sim::Tick head = start + params_.link_latency + fate.extra_delay;
   const sim::Tick tail = start + ser + params_.link_latency + fate.extra_delay;
 
-  sim_.At(head, [dst = dst_, pkt = std::move(packet), tail]() mutable {
-    dst->OnPacket(std::move(pkt), tail);
+  sim_.At(head, [this, pkt = std::move(packet), tail]() mutable {
+    dst_->OnPacket(std::move(pkt), tail, this);
   });
 }
 
-void Switch::OnPacket(Packet packet, sim::Tick tail_time) {
+void Switch::OnPacket(Packet packet, sim::Tick tail_time, Link* from) {
   if (packet.route.empty()) {
     ++dropped_;
     if (dropped_m_ != nullptr) dropped_m_->Inc();
@@ -99,12 +99,69 @@ void Switch::OnPacket(Packet packet, sim::Tick tail_time) {
   }
   ++forwarded_;
   if (forwarded_m_ != nullptr) forwarded_m_->Inc();
-  // Cut-through: forward the head after the switch latency. The downstream
-  // link recomputes serialization; `tail_time` of this hop is implicit.
+  // Cut-through: the head reaches the output port after the switch
+  // latency; tail_time of this hop is implicit (the downstream link
+  // recomputes serialization).
   (void)tail_time;
-  Link* out = out_links_[static_cast<std::size_t>(port)];
   sim_.In(params_.switch_latency,
-          [out, pkt = std::move(packet)]() mutable { out->Send(std::move(pkt)); });
+          [this, port, pkt = std::move(packet), from]() mutable {
+            Enqueue(port, std::move(pkt), from);
+          });
+}
+
+void Switch::Enqueue(int port, Packet packet, Link* from) {
+  OutPort& op = ports_[static_cast<std::size_t>(port)];
+  Link* out = out_links_[static_cast<std::size_t>(port)];
+  const std::size_t cap = params_.switch_port_queue_bytes;
+  const std::size_t wire = packet.wire_bytes();
+  if (cap != 0 && !op.queue.empty() && op.bytes + wire > cap) {
+    // No buffer space: wormhole backpressure. The packet cannot leave its
+    // inbound wire, which stays occupied — stalling everything behind it
+    // (head-of-line blocking) — until the contended output frees up.
+    ++hol_stalls_;
+    if (hol_stalls_m_ != nullptr) hol_stalls_m_->Inc();
+    const sim::Tick retry = std::max(out->busy_until(), sim_.now() + 1);
+    const sim::Tick stalled = retry - sim_.now();
+    hol_stall_ += stalled;
+    if (hol_stall_ns_m_ != nullptr) {
+      hol_stall_ns_m_->Inc(static_cast<std::uint64_t>(stalled));
+    }
+    if (from != nullptr) from->StallUntil(retry);
+    sim_.At(retry, [this, port, pkt = std::move(packet), from]() mutable {
+      Enqueue(port, std::move(pkt), from);
+    });
+    return;
+  }
+  op.queue.emplace_back(std::move(packet), sim_.now());
+  op.bytes += wire;
+  if (!op.draining) {
+    op.draining = true;
+    DrainPort(port);
+  }
+}
+
+void Switch::DrainPort(int port) {
+  OutPort& op = ports_[static_cast<std::size_t>(port)];
+  Link* out = out_links_[static_cast<std::size_t>(port)];
+  if (op.queue.empty()) {
+    op.draining = false;
+    return;
+  }
+  if (out->busy_until() > sim_.now()) {
+    sim_.At(out->busy_until(), [this, port] { DrainPort(port); });
+    return;
+  }
+  auto [pkt, enqueued_at] = std::move(op.queue.front());
+  op.queue.pop_front();
+  op.bytes -= pkt.wire_bytes();
+  const sim::Tick waited = sim_.now() - enqueued_at;
+  queue_wait_ += waited;
+  if (queue_wait_ns_m_ != nullptr) {
+    queue_wait_ns_m_->Inc(static_cast<std::uint64_t>(waited));
+  }
+  out->Send(std::move(pkt));
+  // The wire is now busy until this packet's tail leaves; come back then.
+  sim_.At(out->busy_until(), [this, port] { DrainPort(port); });
 }
 
 void Fabric::NotifyDrop(Packet&& packet) {
@@ -123,7 +180,9 @@ Link* Fabric::NewLink() {
   const std::string prefix =
       "fabric.link" + std::to_string(links_.size()) + ".";
   links_.push_back(std::make_unique<Link>(sim_, params_, rng_));
-  links_.back()->set_id(static_cast<int>(links_.size()) - 1);
+  sim::LinkSite site;
+  site.link_id = static_cast<int>(links_.size()) - 1;
+  links_.back()->set_site(site);
   obs::Registry& m = sim_.metrics();
   links_.back()->BindMetrics(&m.GetCounter(prefix + "packets"),
                              &m.GetCounter(prefix + "bytes"),
@@ -138,7 +197,10 @@ int Fabric::AddSwitch(int num_ports) {
   const std::string prefix = "fabric.switch" + std::to_string(id) + ".";
   obs::Registry& m = sim_.metrics();
   switches_.back()->BindMetrics(&m.GetCounter(prefix + "forwarded"),
-                                &m.GetCounter(prefix + "dropped"));
+                                &m.GetCounter(prefix + "dropped"),
+                                &m.GetCounter(prefix + "queue_wait_ns"),
+                                &m.GetCounter(prefix + "hol_stalls"),
+                                &m.GetCounter(prefix + "hol_stall_ns"));
   switches_.back()->set_drop_handler(
       [this](Packet&& pkt) { NotifyDrop(std::move(pkt)); });
   return id;
@@ -164,8 +226,19 @@ Status Fabric::ConnectNic(int nic_id, int switch_id, int port) {
 
   att.to_switch = NewLink();
   att.to_switch->set_destination(&sw);
+  {
+    sim::LinkSite site = att.to_switch->site();
+    site.src_nic = nic_id;
+    att.to_switch->set_site(site);
+  }
   att.from_switch = NewLink();
   att.from_switch->set_destination(att.endpoint);
+  {
+    sim::LinkSite site = att.from_switch->site();
+    site.switch_id = switch_id;
+    site.port = port;
+    att.from_switch->set_site(site);
+  }
   sw.AttachOutput(port, att.from_switch);
   att.switch_id = switch_id;
   att.switch_port = port;
@@ -186,11 +259,31 @@ Status Fabric::ConnectSwitches(int a, int pa, int b, int pb) {
   }
   Link* ab = NewLink();
   ab->set_destination(&sb);
+  {
+    sim::LinkSite site = ab->site();
+    site.switch_id = a;
+    site.port = pa;
+    ab->set_site(site);
+  }
   sa.AttachOutput(pa, ab);
   Link* ba = NewLink();
   ba->set_destination(&sa);
+  {
+    sim::LinkSite site = ba->site();
+    site.switch_id = b;
+    site.port = pb;
+    ba->set_site(site);
+  }
   sb.AttachOutput(pb, ba);
   return OkStatus();
+}
+
+int Fabric::LinkIdAt(int switch_id, int port) const {
+  for (const auto& l : links_) {
+    const sim::LinkSite& s = l->site();
+    if (s.switch_id == switch_id && s.port == port) return s.link_id;
+  }
+  return -1;
 }
 
 Status Fabric::Inject(int nic_id, Packet packet) {
@@ -230,9 +323,18 @@ Result<Route> Fabric::ComputeRoute(int src_nic, int dst_nic) const {
     return Route{static_cast<std::uint8_t>(src.switch_port)};
   }
 
+  // A topology builder's closed-form routing (deterministic path spreading
+  // on fat trees) takes precedence over the generic BFS.
+  if (oracle_) {
+    Result<Route> r = oracle_(src_nic, dst_nic);
+    if (r.ok()) return r;
+  }
+
   // BFS over switches from the source's switch to the destination's switch,
   // recording (switch, entry route). The route is the port byte consumed at
   // each traversed switch; the final byte exits to the destination NIC.
+  // Deterministic: switches and ports are explored in id order, so ties
+  // always resolve the same way.
   struct State {
     int switch_id;
     Route route;
@@ -274,6 +376,24 @@ Result<Route> Fabric::ComputeRoute(int src_nic, int dst_nic) const {
 std::uint64_t Fabric::total_link_packets() const {
   std::uint64_t n = 0;
   for (const auto& l : links_) n += l->packets_sent();
+  return n;
+}
+
+sim::Tick Fabric::total_queue_wait() const {
+  sim::Tick n = 0;
+  for (const auto& s : switches_) n += s->queue_wait();
+  return n;
+}
+
+std::uint64_t Fabric::total_hol_stalls() const {
+  std::uint64_t n = 0;
+  for (const auto& s : switches_) n += s->hol_stalls();
+  return n;
+}
+
+sim::Tick Fabric::total_hol_stall_time() const {
+  sim::Tick n = 0;
+  for (const auto& s : switches_) n += s->hol_stall_time();
   return n;
 }
 

@@ -19,11 +19,14 @@ void FaultInjector::Configure(FaultPlan plan) {
 }
 
 FaultInjector::LinkVerdict FaultInjector::OnLinkTransmit(
-    int link_id, std::vector<std::uint8_t>& payload) {
+    const LinkSite& site, std::vector<std::uint8_t>& payload) {
   LinkVerdict verdict;
   if (!active_) return verdict;
   for (const LinkFaultRule& rule : plan_.links) {
-    if (rule.link_id != -1 && rule.link_id != link_id) continue;
+    if (rule.link_id != -1 && rule.link_id != site.link_id) continue;
+    if (rule.switch_id != -1 && rule.switch_id != site.switch_id) continue;
+    if (rule.port != -1 && rule.port != site.port) continue;
+    if (rule.src_nic != -1 && rule.src_nic != site.src_nic) continue;
     // Drop decided first: a lost packet can be neither corrupted nor
     // delayed, and skipping the other draws keeps each rule's consumption
     // of the Rng stream self-describing.

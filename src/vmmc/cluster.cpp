@@ -2,10 +2,39 @@
 
 #include <cassert>
 
+#include "vmmc/myrinet/topology.h"
 #include "vmmc/util/log.h"
 #include "vmmc/vmmc/mapper.h"
 
 namespace vmmc::vmmc_core {
+
+Result<ClusterOptions> ClusterOptions::FromSpec(const std::string& spec) {
+  auto cfg = myrinet::ParseTopologySpec(spec);
+  if (!cfg.ok()) return cfg.status();
+  ClusterOptions opts;
+  opts.num_nodes = cfg.value().num_nodes;
+  opts.switch_ports = cfg.value().switch_ports;
+  switch (cfg.value().kind) {
+    case myrinet::TopologyKind::kSingleSwitch:
+      opts.topology = Topology::kSingleSwitch;
+      break;
+    case myrinet::TopologyKind::kChain:
+      opts.topology = Topology::kSwitchChain;
+      opts.chain_switches = std::max(
+          1, (opts.num_nodes + opts.switch_ports - 3) / (opts.switch_ports - 2));
+      break;
+    case myrinet::TopologyKind::kFatTree:
+      opts.topology = Topology::kFatTree;
+      break;
+    case myrinet::TopologyKind::kRing:
+      opts.topology = Topology::kRing;
+      break;
+    case myrinet::TopologyKind::kMesh:
+      opts.topology = Topology::kMesh;
+      break;
+  }
+  return opts;
+}
 
 Cluster::Cluster(sim::Simulator& sim, const Params& params,
                  ClusterOptions options)
@@ -33,6 +62,22 @@ Cluster::Cluster(sim::Simulator& sim, const Params& params,
           1, (options_.num_nodes + options_.chain_switches - 1) /
                  options_.chain_switches);
       plan = myrinet::BuildSwitchChain(*fabric_, options_.chain_switches, per);
+      break;
+    }
+    case Topology::kFatTree:
+    case Topology::kRing:
+    case Topology::kMesh: {
+      myrinet::TopologyConfig cfg;
+      cfg.kind = options_.topology == Topology::kFatTree
+                     ? myrinet::TopologyKind::kFatTree
+                     : (options_.topology == Topology::kRing
+                            ? myrinet::TopologyKind::kRing
+                            : myrinet::TopologyKind::kMesh);
+      cfg.num_nodes = options_.num_nodes;
+      cfg.switch_ports = options_.switch_ports;
+      auto built = myrinet::BuildTopology(*fabric_, cfg);
+      assert(built.ok() && "topology cannot host the requested node count");
+      plan = std::move(built).value();
       break;
     }
   }

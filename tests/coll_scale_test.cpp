@@ -1,0 +1,161 @@
+// Collectives at multi-switch scale: the paper's 4-node testbed grown to
+// 8-16 nodes on ring and fat-tree fabrics. Verifies the whole stack —
+// boot-time network mapping over multi-hop routes, lazy link setup, the
+// ring allreduce — and that a run is bitwise deterministic (same seed =>
+// identical simulated end time and fabric counters).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "co_test_util.h"
+#include "vmmc/coll/communicator.h"
+#include "vmmc/myrinet/topology.h"
+
+namespace vmmc::coll {
+namespace {
+
+using vmmc_core::Cluster;
+using vmmc_core::ClusterOptions;
+
+struct RunResult {
+  sim::Tick end_time = 0;
+  std::uint64_t link_packets = 0;
+  sim::Tick queue_wait = 0;
+  std::uint64_t hol_stalls = 0;
+  std::vector<std::int64_t> values;
+
+  bool operator==(const RunResult&) const = default;
+};
+
+// Boots `options`, creates one lazy-link communicator per rank, runs one
+// ring allreduce over `elems` int64 per rank, and fingerprints the run.
+RunResult RunAllReduce(const ClusterOptions& options, std::size_t elems) {
+  RunResult out;
+  sim::Simulator sim;
+  Params params;
+  Cluster cluster(sim, params, options);
+  EXPECT_TRUE(cluster.Boot().ok());
+  const int size = options.num_nodes;
+
+  std::vector<std::unique_ptr<Communicator>> comms(
+      static_cast<std::size_t>(size));
+  int created = 0;
+  auto create = [&cluster, &comms, &created, size](int r) -> sim::Process {
+    CommOptions copts;
+    copts.lazy_links = true;
+    auto c = co_await Communicator::Create(cluster, r, size, "world", copts);
+    CO_ASSERT_TRUE(c.ok());
+    comms[static_cast<std::size_t>(r)] = std::move(c).value();
+    ++created;
+  };
+  for (int r = 0; r < size; ++r) sim.Spawn(create(r));
+  EXPECT_TRUE(sim.RunUntil([&] { return created == size; }, 10'000'000'000ll));
+
+  int finished = 0;
+  std::vector<std::int64_t> rank0;  // rank 0's result, for verification
+  auto run = [&comms, &finished, &rank0, elems, size](int r) -> sim::Process {
+    std::vector<std::int64_t> values(elems * static_cast<std::size_t>(size));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<std::int64_t>(i % 7) + r;
+    }
+    Status s = co_await comms[static_cast<std::size_t>(r)]->AllReduceSum(values);
+    CO_ASSERT_TRUE(s.ok());
+    if (r == 0) rank0 = std::move(values);
+    ++finished;
+  };
+  for (int r = 0; r < size; ++r) sim.Spawn(run(r));
+  EXPECT_TRUE(sim.RunUntil([&] { return finished == size; }, 60'000'000'000ll));
+
+  out.end_time = sim.now();
+  out.link_packets = cluster.fabric().total_link_packets();
+  out.queue_wait = cluster.fabric().total_queue_wait();
+  out.hol_stalls = cluster.fabric().total_hol_stalls();
+  out.values = std::move(rank0);
+  return out;
+}
+
+// The allreduce of values[i] = (i % 7) + r over ranks r = 0..size-1.
+std::vector<std::int64_t> ExpectedSum(int size, std::size_t elems) {
+  const std::size_t n = elems * static_cast<std::size_t>(size);
+  // Sum over r of ((i % 7) + r) = size * (i % 7) + size*(size-1)/2.
+  const std::int64_t rank_part =
+      static_cast<std::int64_t>(size) * (size - 1) / 2;
+  std::vector<std::int64_t> want(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    want[i] = static_cast<std::int64_t>(size) *
+                  static_cast<std::int64_t>(i % 7) +
+              rank_part;
+  }
+  return want;
+}
+
+TEST(CollScaleTest, SixteenNodeFatTreeRingAllReduce) {
+  auto options = ClusterOptions::FromSpec("fattree:16@8");
+  ASSERT_TRUE(options.ok());
+  const RunResult r = RunAllReduce(options.value(), 32);
+  EXPECT_EQ(r.values, ExpectedSum(16, 32));
+  EXPECT_GT(r.link_packets, 0u);
+}
+
+TEST(CollScaleTest, EightNodeRingAllReduce) {
+  auto options = ClusterOptions::FromSpec("ring:8@4");
+  ASSERT_TRUE(options.ok());
+  const RunResult r = RunAllReduce(options.value(), 32);
+  EXPECT_EQ(r.values, ExpectedSum(8, 32));
+}
+
+TEST(CollScaleTest, FatTreeRunsAreDeterministic) {
+  auto options = ClusterOptions::FromSpec("fattree:16@8");
+  ASSERT_TRUE(options.ok());
+  const RunResult a = RunAllReduce(options.value(), 32);
+  const RunResult b = RunAllReduce(options.value(), 32);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_TRUE(a == b) << "same seed must reproduce times and counters";
+}
+
+TEST(CollScaleTest, RingRunsAreDeterministic) {
+  auto options = ClusterOptions::FromSpec("ring:8@4");
+  ASSERT_TRUE(options.ok());
+  const RunResult a = RunAllReduce(options.value(), 32);
+  const RunResult b = RunAllReduce(options.value(), 32);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(CollScaleTest, LazyLinksOnlyTouchRingNeighbours) {
+  auto options = ClusterOptions::FromSpec("fattree:16@8");
+  ASSERT_TRUE(options.ok());
+  sim::Simulator sim;
+  Params params;
+  Cluster cluster(sim, params, options.value());
+  ASSERT_TRUE(cluster.Boot().ok());
+
+  std::vector<std::unique_ptr<Communicator>> comms(16);
+  int created = 0;
+  auto create = [&](int r) -> sim::Process {
+    CommOptions copts;
+    copts.lazy_links = true;
+    auto c = co_await Communicator::Create(cluster, r, 16, "world", copts);
+    CO_ASSERT_TRUE(c.ok());
+    comms[static_cast<std::size_t>(r)] = std::move(c).value();
+    ++created;
+  };
+  for (int r = 0; r < 16; ++r) sim.Spawn(create(r));
+  ASSERT_TRUE(sim.RunUntil([&] { return created == 16; }, 10'000'000'000ll));
+  for (const auto& c : comms) EXPECT_EQ(c->links_established(), 0);
+
+  int finished = 0;
+  auto run = [&](int r) -> sim::Process {
+    std::vector<std::int64_t> values(16, r);
+    Status s = co_await comms[static_cast<std::size_t>(r)]->AllReduceSum(values);
+    CO_ASSERT_TRUE(s.ok());
+    ++finished;
+  };
+  for (int r = 0; r < 16; ++r) sim.Spawn(run(r));
+  ASSERT_TRUE(sim.RunUntil([&] { return finished == 16; }, 60'000'000'000ll));
+  // A ring allreduce touches exactly the two neighbours, not all 15 peers.
+  for (const auto& c : comms) EXPECT_EQ(c->links_established(), 2);
+}
+
+}  // namespace
+}  // namespace vmmc::coll

@@ -33,6 +33,20 @@ TEST(Crc8Test, IncrementalMatchesOneShot) {
   EXPECT_EQ(inc, Crc8(data));
 }
 
+TEST(Crc8Test, DetectsByteSwapsAndTruncation) {
+  // CRC-8 is position-sensitive: reordering or shortening the message
+  // changes the checksum (the properties the NIC relies on to reject
+  // misassembled packets).
+  std::vector<std::uint8_t> data = {0x10, 0x32, 0x54, 0x76, 0x98};
+  const std::uint8_t good = Crc8(data);
+  auto swapped = data;
+  std::swap(swapped[1], swapped[3]);
+  EXPECT_NE(Crc8(swapped), good);
+  EXPECT_NE(Crc8(std::span(data).subspan(0, 4)), good);
+  // Incremental over an empty prefix is the identity.
+  EXPECT_EQ(Crc8Update(Crc8Update(0, {}), data), good);
+}
+
 TEST(Crc8Test, DetectsSingleBitFlips) {
   std::vector<std::uint8_t> data(64, 0xA5);
   const std::uint8_t good = Crc8(data);
@@ -60,7 +74,7 @@ TEST(PacketTest, WireSizeAndCrcStamp) {
 class Sink : public Endpoint {
  public:
   explicit Sink(sim::Simulator& sim) : sim_(sim) {}
-  void OnPacket(Packet packet, Tick tail_time) override {
+  void OnPacket(Packet packet, Tick tail_time, Link*) override {
     head_times.push_back(sim_.now());
     tail_times.push_back(tail_time);
     packets.push_back(std::move(packet));

@@ -36,7 +36,7 @@ class TopologyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 class CollectingSink : public myrinet::Endpoint {
  public:
-  void OnPacket(myrinet::Packet packet, sim::Tick) override {
+  void OnPacket(myrinet::Packet packet, sim::Tick, myrinet::Link*) override {
     packets.push_back(std::move(packet));
   }
   std::vector<myrinet::Packet> packets;
