@@ -128,6 +128,9 @@ class NicCard : public myrinet::Endpoint {
   // integrity is testable.
   sim::Process HostDmaRead(mem::PhysAddr src, std::vector<std::uint8_t>& out,
                            std::size_t len);
+  // Zero-copy variant: DMAs straight into caller-owned storage (e.g. the
+  // data region of a pooled payload buffer) — no intermediate vector.
+  sim::Process HostDmaRead(mem::PhysAddr src, std::span<std::uint8_t> out);
   sim::Process HostDmaWrite(mem::PhysAddr dst, std::span<const std::uint8_t> in);
 
   // Raises the NIC's interrupt line (driver service requests: software-TLB

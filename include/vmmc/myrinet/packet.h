@@ -7,16 +7,23 @@
 #include <vector>
 
 #include "vmmc/myrinet/crc8.h"
+#include "vmmc/util/buffer.h"
 
 namespace vmmc::myrinet {
 
 // The remaining source route: front() is the output port at the next switch.
 using Route = std::vector<std::uint8_t>;
 
+// Payload bytes are shared, copy-on-write (see util/buffer.h): copying a
+// Packet into a switch queue or the retx-pool bumps a refcount instead of
+// duplicating the bytes, so a payload is written once at the source NIC
+// and never copied again unless a fault rule actually mutates it.
+using Buffer = util::Buffer;
+
 struct Packet {
   int src_nic = -1;   // injecting NIC id (diagnostics only; not on the wire)
   Route route;        // consumed hop by hop
-  std::vector<std::uint8_t> payload;
+  Buffer payload;
   std::uint8_t crc = 0;
 
   // Bytes occupying the wire: remaining route bytes + payload + CRC.

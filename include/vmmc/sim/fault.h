@@ -20,6 +20,7 @@
 #include "vmmc/obs/metrics.h"
 #include "vmmc/sim/rng.h"
 #include "vmmc/sim/time.h"
+#include "vmmc/util/buffer.h"
 
 namespace vmmc::sim {
 
@@ -104,8 +105,7 @@ class FaultInjector {
   // Decides the fate of one packet entering the link at `site`. May flip
   // one bit in `payload` (the receiver's CRC check then fails, as on real
   // hardware). Counts into fault.injected.*.
-  LinkVerdict OnLinkTransmit(const LinkSite& site,
-                             std::vector<std::uint8_t>& payload);
+  LinkVerdict OnLinkTransmit(const LinkSite& site, util::Buffer& payload);
 
   // How long node `node_id`'s host-DMA engine must wait, from now, for the
   // current stall window (if any) to close. 0 = not stalled.

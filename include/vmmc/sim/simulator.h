@@ -5,13 +5,27 @@
 // suspend on awaitables whose wake-ups flow through this queue, so the
 // entire system is single-threaded and deterministic: events at equal
 // times fire in scheduling order (FIFO tie-break on a sequence number).
+//
+// The queue is built for wall-clock throughput (see "Event engine
+// internals" in ARCHITECTURE.md): events live in pool-allocated intrusive
+// nodes ordered by a d-ary heap of (time, seq) keys, events at the
+// current time bypass the heap through an intrusive FIFO, coroutine
+// resumption and process start are first-class event kinds carrying only
+// a frame address, and callbacks store their captures inline in the node
+// (InlineFn) instead of behind a std::function allocation. The dispatch
+// order is bit-identical to a (time, seq)-keyed priority queue: seq is a
+// single monotone counter consumed by every scheduling path, so the key
+// order is total.
 #pragma once
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "vmmc/obs/metrics.h"
@@ -21,6 +35,63 @@
 #include "vmmc/sim/time.h"
 
 namespace vmmc::sim {
+
+namespace detail {
+
+// A callable stored in place: captures up to kInlineBytes live inside the
+// event node itself; larger ones (rare, none on the steady-state paths)
+// fall back to a single heap allocation. Unlike std::function this never
+// moves after construction — event nodes have stable addresses — so it
+// needs no move support and accepts move-only captures.
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 96;
+
+  InlineFn() noexcept = default;
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { Reset(); }
+
+  template <typename F>
+  void Emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&>);
+    assert(invoke_ == nullptr && "InlineFn already holds a callable");
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+      // Trivially destructible captures (the common case) skip the
+      // destroy indirection entirely.
+      if constexpr (!std::is_trivially_destructible_v<Fn>) {
+        destroy_ = [](void* s) {
+          std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+        };
+      }
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      invoke_ = [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); };
+      destroy_ = [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); };
+    }
+  }
+
+  void Invoke() { invoke_(storage_); }
+
+  void Reset() {
+    if (destroy_ != nullptr) {
+      destroy_(storage_);
+      destroy_ = nullptr;
+    }
+    invoke_ = nullptr;
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace detail
 
 class Simulator {
  public:
@@ -43,18 +114,43 @@ class Simulator {
   FaultInjector& faults() { return faults_; }
 
   std::uint64_t events_processed() const { return processed_; }
-  bool empty() const { return queue_.empty(); }
+  bool empty() const {
+    return heap_.empty() && fifo_head_ == nullptr && tail_head_ == nullptr;
+  }
 
   // Schedules `fn` at absolute time `t` (must be >= now()).
-  void At(Tick t, std::function<void()> fn);
-  // Schedules `fn` after `delay` ticks.
-  void In(Tick delay, std::function<void()> fn) { At(now_ + delay, std::move(fn)); }
+  template <typename F>
+  void At(Tick t, F&& fn) {
+    assert(t >= now_ && "cannot schedule in the past");
+    EventNode* n = AllocNode(t);
+    n->kind = EventNode::Kind::kCallback;
+    n->fn.Emplace(std::forward<F>(fn));
+    Enqueue(n);
+  }
+  // Schedules `fn` after `delay` ticks (must not be negative).
+  template <typename F>
+  void In(Tick delay, F&& fn) {
+    assert(delay >= 0 && "delays cannot be negative");
+    At(now_ + delay, std::forward<F>(fn));
+  }
   // Schedules `fn` at the current time, after already-queued events at now().
-  void Post(std::function<void()> fn) { At(now_, std::move(fn)); }
+  template <typename F>
+  void Post(F&& fn) {
+    At(now_, std::forward<F>(fn));
+  }
 
   // Resumes a coroutine through the event queue (keeps ordering FIFO and
-  // avoids unbounded recursion from synchronous resumption chains).
-  void Resume(std::coroutine_handle<> h, Tick delay = 0);
+  // avoids unbounded recursion from synchronous resumption chains). This
+  // is the dominant event kind — every Delay/Event/Semaphore/Mailbox
+  // wake-up lands here — so it stores only the frame address: no closure,
+  // no allocation.
+  void Resume(std::coroutine_handle<> h, Tick delay = 0) {
+    assert(delay >= 0 && "delays cannot be negative");
+    EventNode* n = AllocNode(now_ + delay);
+    n->kind = EventNode::Kind::kResume;
+    n->coro = h.address();
+    Enqueue(n);
+  }
 
   // Starts a detached coroutine at the current time. The coroutine frame
   // frees itself on completion.
@@ -95,19 +191,119 @@ class Simulator {
   }
 
  private:
-  struct Event {
-    Tick time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  // One scheduled event. Nodes are pool-allocated and recycled through an
+  // intrusive free list; `next` doubles as the now-FIFO chain link.
+  // Field order is deliberate: everything the kResume/kSpawn dispatch path
+  // reads (time, seq, next, coro, kind) sits in the node's first cache
+  // line; the callback capture area comes last.
+  struct EventNode {
+    enum class Kind : std::uint8_t { kCallback, kResume, kSpawn };
+    Tick time = 0;
+    std::uint64_t seq = 0;
+    EventNode* next = nullptr;  // free-list / now-FIFO link
+    void* coro = nullptr;       // kResume / kSpawn: coroutine frame address
+    Kind kind = Kind::kCallback;
+    detail::InlineFn fn;        // kCallback only
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Heap entries carry the full (time, seq) key next to the node pointer:
+  // sift comparisons stay inside the contiguous heap array and never
+  // chase node pointers (time ties — bursts of same-tick wake-ups — are
+  // the common case on the hot path).
+  struct HeapSlot {
+    Tick time;
+    std::uint64_t seq;
+    EventNode* node;
+  };
+  static bool SlotBefore(const HeapSlot& a, const HeapSlot& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;  // seq is unique: no further tie
+  }
+
+  EventNode* AllocNode(Tick t) {
+    EventNode* n = free_nodes_;
+    if (n != nullptr) {
+      free_nodes_ = n->next;
+    } else {
+      if (wilderness_ == wilderness_end_) RefillPool();
+      n = ::new (static_cast<void*>(wilderness_)) EventNode;
+      ++wilderness_;
+    }
+    n->time = t;
+    n->seq = seq_++;
+    return n;
+  }
+  void FreeNode(EventNode* n) {
+    n->next = free_nodes_;
+    free_nodes_ = n;
+  }
+  void RefillPool();
+
+  // Three queue tiers, cheapest first. Events at exactly now() append to
+  // an intrusive FIFO. Future events whose (time, seq) key is >= the last
+  // event of the sorted tail list append there in O(1) — simulations
+  // overwhelmingly schedule in increasing time order, so this absorbs the
+  // heap traffic. Only out-of-order future pushes fall through to the
+  // 4-ary heap. PopNext takes the global (time, seq) minimum of the three
+  // tiers, so dispatch order is identical to a single priority queue.
+  void Enqueue(EventNode* n) {
+    if (n->time == now_) {
+      n->next = nullptr;
+      if (fifo_tail_ != nullptr) {
+        fifo_tail_->next = n;
+      } else {
+        fifo_head_ = n;
+      }
+      fifo_tail_ = n;
+      return;
+    }
+    // seq is monotone and tail_tail_ was allocated earlier, so on equal
+    // times n still sorts after it — time comparison alone suffices.
+    if (tail_tail_ == nullptr || n->time >= tail_tail_->time) {
+      n->next = nullptr;
+      if (tail_tail_ != nullptr) {
+        tail_tail_->next = n;
+      } else {
+        tail_head_ = n;
+      }
+      tail_tail_ = n;
+      return;
+    }
+    HeapPush(n);
+  }
+
+  static constexpr std::size_t kHeapArity = 4;
+
+  void HeapPush(EventNode* n) {
+    const HeapSlot slot{n->time, n->seq, n};
+    std::size_t i = heap_.size();
+    heap_.push_back(slot);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kHeapArity;
+      if (!SlotBefore(slot, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = slot;
+  }
+
+  EventNode* HeapPopTop();
+  EventNode* PopNext();
+  void Dispatch(EventNode* n);
+
+  std::vector<HeapSlot> heap_;        // out-of-order future events, 4-ary min-heap
+  EventNode* fifo_head_ = nullptr;    // events at now(), FIFO order
+  EventNode* fifo_tail_ = nullptr;
+  EventNode* tail_head_ = nullptr;    // future events, sorted by (time, seq)
+  EventNode* tail_tail_ = nullptr;
+  EventNode* free_nodes_ = nullptr;   // recycled nodes
+  EventNode* wilderness_ = nullptr;   // unconstructed tail of newest block
+  EventNode* wilderness_end_ = nullptr;
+  // Fixed-size blocks: 512 nodes keeps a block under glibc's 128 KB mmap
+  // threshold, so freed blocks are recycled by the allocator instead of
+  // being returned to (and re-zeroed by) the kernel.
+  static constexpr std::size_t kPoolBlockNodes = 512;
+  std::vector<std::unique_ptr<unsigned char[]>> pool_blocks_;
   Tick now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -14,9 +14,9 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <vector>
 
 #include "vmmc/mem/types.h"
+#include "vmmc/util/buffer.h"
 
 namespace vmmc::vmmc_core {
 
@@ -68,9 +68,14 @@ struct ChunkHeader {
   }
 };
 
+// Writes the kWireSize-byte header (little endian) at `dst`, which must
+// have room for it. Zero-copy senders encode straight into a payload
+// buffer whose data bytes were DMA'd in place (no intermediate vector).
+void EncodeHeaderInto(const ChunkHeader& header, std::uint8_t* dst);
+
 // Serializes header + data into a packet payload (little endian).
-std::vector<std::uint8_t> EncodeChunk(const ChunkHeader& header,
-                                      std::span<const std::uint8_t> data);
+util::Buffer EncodeChunk(const ChunkHeader& header,
+                         std::span<const std::uint8_t> data);
 
 // Parses a payload; returns nullopt on malformed input (short payload or
 // length mismatch). `data` views into `payload`, which must outlive it.

@@ -37,7 +37,11 @@ struct ReplyMessage {
   std::vector<std::uint8_t> results;  // XDR-encoded results (on success)
 };
 
-// Wire encoding (header + body).
+// Wire encoding (header + body). The Into variants clear `out` and build
+// the message in place with a single exact-size reservation — hot paths
+// hand in a scratch vector instead of taking a fresh one per message.
+void EncodeCallInto(const CallMessage& call, std::vector<std::uint8_t>& out);
+void EncodeReplyInto(const ReplyMessage& reply, std::vector<std::uint8_t>& out);
 std::vector<std::uint8_t> EncodeCall(const CallMessage& call);
 std::vector<std::uint8_t> EncodeReply(const ReplyMessage& reply);
 

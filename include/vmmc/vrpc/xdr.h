@@ -4,6 +4,7 @@
 // implementations").
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -14,6 +15,13 @@ namespace vmmc::vrpc {
 
 class XdrWriter {
  public:
+  XdrWriter() : buffer_(&owned_) {}
+  // Appends into a caller-provided buffer instead of an owned one: callers
+  // on hot paths hand in a reserved/recycled scratch vector and avoid a
+  // fresh allocation (plus the Take()-then-splice copy) per message.
+  explicit XdrWriter(std::vector<std::uint8_t>& out)
+      : buffer_(&out), start_(out.size()) {}
+
   void PutU32(std::uint32_t v);
   void PutI32(std::int32_t v) { PutU32(static_cast<std::uint32_t>(v)); }
   void PutU64(std::uint64_t v);
@@ -22,12 +30,22 @@ class XdrWriter {
   void PutOpaque(std::span<const std::uint8_t> bytes);
   void PutString(const std::string& s);
 
-  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
-  std::vector<std::uint8_t> Take() { return std::move(buffer_); }
-  std::size_t size() const { return buffer_.size(); }
+  // The bytes this writer has produced (excludes anything that was already
+  // in a caller-provided buffer at construction).
+  std::span<const std::uint8_t> bytes() const {
+    return std::span(*buffer_).subspan(start_);
+  }
+  std::size_t size() const { return buffer_->size() - start_; }
+  // Owned mode only: moves the buffer out.
+  std::vector<std::uint8_t> Take() {
+    assert(buffer_ == &owned_ && "Take() on a caller-provided buffer");
+    return std::move(owned_);
+  }
 
  private:
-  std::vector<std::uint8_t> buffer_;
+  std::vector<std::uint8_t>* buffer_;
+  std::size_t start_ = 0;
+  std::vector<std::uint8_t> owned_;
 };
 
 class XdrReader {

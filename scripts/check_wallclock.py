@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Wall-clock regression gate for the simulation engine.
+
+Runs sim_microbench (google-benchmark JSON output), extracts events/sec
+(items_per_second) for the gated benchmarks, writes the fresh numbers to
+BENCH_sim.json in the working directory, and fails if any gated benchmark
+regressed more than the allowed fraction against the recorded baseline.
+
+Usage:
+  check_wallclock.py <sim_microbench> <baseline.json> [--update] [--out FILE]
+
+With --update the recorded baseline itself is rewritten (run after an
+intentional engine change, on the machine that records baselines).
+
+The baseline stores events/sec per benchmark. Wall-clock numbers move with
+the host, so the gate is deliberately loose (25%): it exists to catch "the
+engine got structurally slower" (an accidental per-event allocation, a
+heap regression), not scheduler jitter.
+"""
+
+import json
+import subprocess
+import sys
+
+# Engine throughput benches plus the whole-stack macros. BM_Rng etc. are
+# not gated: they measure other things and would only add noise.
+GATED = [
+    "BM_EventDispatch",
+    "BM_CoroutineResume",
+    "BM_CoroutineDelayChain",
+    "BM_MailboxHandoff",
+    "BM_MacroAllreduce64",
+    "BM_MacroFaultSweepReplay",
+]
+ALLOWED_REGRESSION = 0.25
+
+
+def run_bench(bench_path):
+    bench_filter = "^(" + "|".join(GATED) + ")$"
+    cmd = [
+        bench_path,
+        f"--benchmark_filter={bench_filter}",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=900)
+    if proc.returncode != 0:
+        sys.exit(f"FAIL: {' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    data = json.loads(proc.stdout)
+    results = {}
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        if name in GATED and "items_per_second" in b:
+            results[name] = b["items_per_second"]
+    missing = [n for n in GATED if n not in results]
+    if missing:
+        sys.exit(f"FAIL: benchmarks missing from output: {missing}")
+    return results
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = [a for a in sys.argv[1:] if a.startswith("--")]
+    if len(args) < 2:
+        sys.exit(__doc__)
+    bench_path, baseline_path = args[0], args[1]
+    out_path = "BENCH_sim.json"
+    for f in flags:
+        if f.startswith("--out="):
+            out_path = f.split("=", 1)[1]
+
+    results = run_bench(bench_path)
+    payload = {
+        "events_per_second": {k: round(v) for k, v in results.items()},
+    }
+    with open(out_path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path}")
+
+    if "--update" in flags:
+        with open(baseline_path, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"updated baseline {baseline_path}")
+        return
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)["events_per_second"]
+
+    failures = []
+    for name in GATED:
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: no baseline recorded")
+            continue
+        fresh = results[name]
+        ratio = fresh / base
+        status = "ok"
+        if ratio < 1.0 - ALLOWED_REGRESSION:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {fresh:,.0f} events/s vs baseline {base:,.0f} "
+                f"({ratio:.2f}x, limit {1.0 - ALLOWED_REGRESSION:.2f}x)"
+            )
+        print(f"  {name:28s} {fresh:14,.0f} ev/s  baseline {base:14,.0f}  "
+              f"{ratio:5.2f}x  {status}")
+
+    if failures:
+        sys.exit("FAIL: events/sec regression:\n  " + "\n  ".join(failures))
+    print("OK: no wall-clock regression beyond "
+          f"{ALLOWED_REGRESSION:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

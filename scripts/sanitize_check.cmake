@@ -1,0 +1,37 @@
+# Configure, build and run the core engine tests under ASan + UBSan.
+# Driven by the `sanitize_core_tests` ctest entry:
+#   cmake -DVMMC_SRC=<src> -DVMMC_BIN=<bin> -P sanitize_check.cmake
+# Covers the tests that exercise the event-node pool, InlineFn storage and
+# the Buffer ref-count/pool code most heavily.
+
+if(NOT VMMC_SRC OR NOT VMMC_BIN)
+  message(FATAL_ERROR "usage: cmake -DVMMC_SRC=<src> -DVMMC_BIN=<bin> -P sanitize_check.cmake")
+endif()
+
+set(_tests sim_test task_test topology_test)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${VMMC_SRC} -B ${VMMC_BIN}
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+          "-DVMMC_SANITIZE=address,undefined"
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "sanitized configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${VMMC_BIN} --parallel --target ${_tests}
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "sanitized build failed")
+endif()
+
+foreach(_t IN LISTS _tests)
+  message(STATUS "running ${_t} under ASan/UBSan")
+  execute_process(
+    COMMAND ${VMMC_BIN}/tests/${_t}
+    RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "${_t} failed under sanitizers")
+  endif()
+endforeach()

@@ -121,6 +121,23 @@ sim::Process NicCard::HostDmaRead(mem::PhysAddr src, std::vector<std::uint8_t>& 
   FinishEngineOp(host_dma_obs_, t0, len);
 }
 
+sim::Process NicCard::HostDmaRead(mem::PhysAddr src,
+                                  std::span<std::uint8_t> out) {
+  auto lock = co_await sim::ScopedAcquire(host_dma_engine_);
+  auto span = obs_bound_
+                  ? sim_.tracer().Scope(host_dma_obs_.track, "host_dma_read")
+                  : obs::Tracer::Span();
+  const sim::Tick t0 = sim_.now();
+  if (const sim::Tick stall = sim_.faults().DmaStallDelay(nic_id_); stall > 0) {
+    co_await sim_.Delay(stall);
+  }
+  co_await machine_.pci().Dma(out.size());
+  Status s = machine_.memory().Read(src, out);
+  assert(s.ok() && "host DMA read from bad physical address");
+  (void)s;
+  FinishEngineOp(host_dma_obs_, t0, out.size());
+}
+
 sim::Process NicCard::HostDmaWrite(mem::PhysAddr dst,
                                    std::span<const std::uint8_t> in) {
   auto lock = co_await sim::ScopedAcquire(host_dma_engine_);

@@ -46,7 +46,7 @@ void Link::Send(Packet packet) {
       rng_.Bernoulli(params_.packet_error_rate)) {
     const std::size_t i =
         static_cast<std::size_t>(rng_.UniformU64(packet.payload.size()));
-    packet.payload[i] ^= 0x01u << rng_.UniformU64(8);
+    packet.payload.MutableData()[i] ^= 0x01u << rng_.UniformU64(8);
   }
 
   // Planned fault injection (sim/fault.h): bit flips, wire drops and

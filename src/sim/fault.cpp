@@ -19,7 +19,7 @@ void FaultInjector::Configure(FaultPlan plan) {
 }
 
 FaultInjector::LinkVerdict FaultInjector::OnLinkTransmit(
-    const LinkSite& site, std::vector<std::uint8_t>& payload) {
+    const LinkSite& site, util::Buffer& payload) {
   LinkVerdict verdict;
   if (!active_) return verdict;
   for (const LinkFaultRule& rule : plan_.links) {
@@ -39,7 +39,10 @@ FaultInjector::LinkVerdict FaultInjector::OnLinkTransmit(
         rng_.Bernoulli(rule.bitflip_rate)) {
       const std::size_t i =
           static_cast<std::size_t>(rng_.UniformU64(payload.size()));
-      payload[i] ^= static_cast<std::uint8_t>(1u << rng_.UniformU64(8));
+      // MutableData un-shares (copy-on-write): the bit flip lands on this
+      // in-flight packet only, never on the sender's retx-pool copy.
+      payload.MutableData()[i] ^=
+          static_cast<std::uint8_t>(1u << rng_.UniformU64(8));
       verdict.corrupted = true;
       bitflips_m_->Inc();
     }

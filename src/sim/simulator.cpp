@@ -1,5 +1,7 @@
 #include "vmmc/sim/simulator.h"
 
+#include <algorithm>
+
 #include "vmmc/util/log.h"
 
 namespace vmmc::sim {
@@ -9,41 +11,146 @@ namespace vmmc::sim {
 // hand it back when they go away.
 Simulator::Simulator() { SetLogSimClock(&now_); }
 
+namespace {
+
+// Pool blocks outlive individual Simulators: short-lived simulators
+// (benches, tests) would otherwise free megabytes of node storage on
+// every teardown, which glibc trims back to the kernel and the next
+// Simulator pays to fault in and zero again.
+std::vector<std::unique_ptr<unsigned char[]>>& BlockCache() {
+  static std::vector<std::unique_ptr<unsigned char[]>> cache;
+  return cache;
+}
+constexpr std::size_t kBlockCacheMax = 64;  // ~5 MB of retained blocks
+
+}  // namespace
+
 Simulator::~Simulator() {
   if (GetLogSimClock() == &now_) SetLogSimClock(nullptr);
+  // Destroy the captures of still-queued callbacks; recycled nodes hold
+  // none. Node memory is raw pool storage (nodes are placement-new'd and
+  // never individually destroyed), recycled with the blocks below.
+  for (const HeapSlot& s : heap_) s.node->fn.Reset();
+  for (EventNode* n = fifo_head_; n != nullptr; n = n->next) n->fn.Reset();
+  for (EventNode* n = tail_head_; n != nullptr; n = n->next) n->fn.Reset();
+  auto& cache = BlockCache();
+  for (auto& block : pool_blocks_) {
+    if (cache.size() >= kBlockCacheMax) break;
+    cache.push_back(std::move(block));
+  }
 }
 
-void Simulator::At(Tick t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule in the past");
-  queue_.push(Event{t, seq_++, std::move(fn)});
-}
-
-void Simulator::Resume(std::coroutine_handle<> h, Tick delay) {
-  At(now_ + delay, [h] { h.resume(); });
+void Simulator::RefillPool() {
+  auto& cache = BlockCache();
+  if (!cache.empty()) {
+    pool_blocks_.push_back(std::move(cache.back()));
+    cache.pop_back();
+  } else {
+    // for_overwrite: the block is raw storage for placement-new'd nodes;
+    // value-initializing it would memset the whole block for nothing.
+    pool_blocks_.push_back(std::make_unique_for_overwrite<unsigned char[]>(
+        kPoolBlockNodes * sizeof(EventNode)));
+  }
+  wilderness_ = reinterpret_cast<EventNode*>(pool_blocks_.back().get());
+  wilderness_end_ = wilderness_ + kPoolBlockNodes;
 }
 
 void Simulator::Spawn(Process p) {
   assert(p.valid());
-  if (p.finished()) return;  // completed synchronously (not possible today)
+  // A Process suspends at its initial suspend point and only runs once the
+  // queue dispatches it, so it cannot have finished before being scheduled.
+  assert(!p.finished());
   Process::Handle h = p.Detach();
-  At(now_, [h] {
-    if (!h.promise().started) {
-      h.promise().started = true;
-      h.resume();
+  EventNode* n = AllocNode(now_);
+  n->kind = EventNode::Kind::kSpawn;
+  n->coro = h.address();
+  Enqueue(n);
+}
+
+Simulator::EventNode* Simulator::HeapPopTop() {
+  EventNode* top = heap_.front().node;
+  const HeapSlot last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n != 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = kHeapArity * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + kHeapArity, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (SlotBefore(heap_[c], heap_[best])) best = c;
+      }
+      if (!SlotBefore(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
     }
-  });
+    heap_[i] = last;
+  }
+  return top;
+}
+
+Simulator::EventNode* Simulator::PopNext() {
+  // Global (time, seq) minimum across the three tiers. Tail and heap hold
+  // the strictly-future pushes; on equal times their seqs decide. FIFO
+  // entries were allocated at now() itself, i.e. after any tail/heap
+  // event that has since reached time == now(), so the FIFO only wins
+  // when neither of the other tiers is due at the current time — this
+  // keeps the order bit-identical to one (time, seq) heap.
+  EventNode* c = tail_head_;
+  bool from_tail = c != nullptr;
+  if (!heap_.empty()) {
+    const HeapSlot& top = heap_.front();
+    if (c == nullptr || top.time < c->time ||
+        (top.time == c->time && top.seq < c->seq)) {
+      c = top.node;
+      from_tail = false;
+    }
+  }
+  if (fifo_head_ != nullptr && (c == nullptr || c->time != now_)) {
+    EventNode* n = fifo_head_;
+    fifo_head_ = n->next;
+    if (fifo_head_ == nullptr) fifo_tail_ = nullptr;
+    return n;
+  }
+  if (c == nullptr) return nullptr;
+  if (from_tail) {
+    tail_head_ = c->next;
+    if (tail_head_ == nullptr) tail_tail_ = nullptr;
+    return c;
+  }
+  return HeapPopTop();
+}
+
+void Simulator::Dispatch(EventNode* n) {
+  switch (n->kind) {
+    case EventNode::Kind::kResume:
+      std::coroutine_handle<>::from_address(n->coro).resume();
+      break;
+    case EventNode::Kind::kSpawn: {
+      auto h = Process::Handle::from_address(n->coro);
+      if (!h.promise().started) {
+        h.promise().started = true;
+        h.resume();
+      }
+      break;
+    }
+    case EventNode::Kind::kCallback:
+      n->fn.Invoke();
+      n->fn.Reset();
+      break;
+  }
+  FreeNode(n);
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the event is copied out. std::function
-  // captures are small (handles, pointers), so this is cheap.
-  Event ev = queue_.top();
-  queue_.pop();
-  assert(ev.time >= now_);
-  now_ = ev.time;
+  EventNode* n = PopNext();
+  if (n == nullptr) return false;
+  assert(n->time >= now_);
+  now_ = n->time;
   ++processed_;
-  ev.fn();
+  Dispatch(n);
   return true;
 }
 
@@ -55,7 +162,16 @@ std::uint64_t Simulator::Run(std::uint64_t max_events) {
 
 void Simulator::RunUntilTime(Tick t) {
   assert(t >= now_);
-  while (!queue_.empty() && queue_.top().time <= t) Step();
+  for (;;) {
+    if (fifo_head_ != nullptr) {  // now-FIFO events are at now() <= t
+      Step();
+      continue;
+    }
+    const bool tail_due = tail_head_ != nullptr && tail_head_->time <= t;
+    const bool heap_due = !heap_.empty() && heap_.front().time <= t;
+    if (!tail_due && !heap_due) break;
+    Step();
+  }
   now_ = t;
 }
 

@@ -1,0 +1,7 @@
+#include "vmmc/util/buffer.h"
+
+namespace vmmc::util {
+
+void Buffer::FreeHeapBlock(Block* b) { ::operator delete(b); }
+
+}  // namespace vmmc::util

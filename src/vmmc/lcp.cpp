@@ -535,9 +535,15 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
   // Stage the chunk: host memory -> LANai SRAM (pipelined with the
   // network DMA of previous chunks through the staging buffers).
   if (params_.vmmc.pipeline_dma) co_await staging_->Acquire();
-  std::vector<std::uint8_t> data;
+  // Zero-copy: DMA the chunk bytes straight into the payload buffer, right
+  // after where the wire header will be encoded. The bytes are written
+  // here once and every later handoff (switch hops, retx-pool) shares them.
+  auto payload =
+      myrinet::Buffer::Uninitialized(ChunkHeader::kWireSize + chunk_len);
   const sim::Tick dma_t0 = nic.simulator().now();
-  co_await nic.HostDmaRead(src_pa, data, chunk_len);
+  co_await nic.HostDmaRead(
+      src_pa, std::span<std::uint8_t>(
+                  payload.MutableData() + ChunkHeader::kWireSize, chunk_len));
   obs_.host_dma_ns->Observe(
       static_cast<double>(nic.simulator().now() - dma_t0));
 
@@ -566,7 +572,8 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
 
   myrinet::Packet pkt;
   pkt.route = routes_[dst_node];
-  pkt.payload = EncodeChunk(h, data);
+  EncodeHeaderInto(h, payload.MutableData());
+  pkt.payload = std::move(payload);
   if (reliable()) RecordSentPacket(nic, dst_node, pkt);
 
   ++stats_.chunks_sent;

@@ -30,22 +30,30 @@ std::uint64_t GetU64(const std::uint8_t* p) {
 }
 }  // namespace
 
-std::vector<std::uint8_t> EncodeChunk(const ChunkHeader& header,
-                                      std::span<const std::uint8_t> data) {
-  std::vector<std::uint8_t> out(ChunkHeader::kWireSize + data.size());
-  out[0] = static_cast<std::uint8_t>(header.type);
-  out[1] = header.flags;
-  PutU16(&out[2], header.src_node);
-  PutU32(&out[4], header.msg_len);
-  PutU32(&out[8], header.chunk_len);
-  PutU64(&out[12], header.dst_pa0);
-  PutU64(&out[20], header.dst_pa1);
-  PutU32(&out[28], header.tag);
-  PutU32(&out[32], header.seq);
-  PutU16(&out[36], header.dst_node);
-  // bytes 38..39: reserved, zero
+void EncodeHeaderInto(const ChunkHeader& header, std::uint8_t* dst) {
+  dst[0] = static_cast<std::uint8_t>(header.type);
+  dst[1] = header.flags;
+  PutU16(&dst[2], header.src_node);
+  PutU32(&dst[4], header.msg_len);
+  PutU32(&dst[8], header.chunk_len);
+  PutU64(&dst[12], header.dst_pa0);
+  PutU64(&dst[20], header.dst_pa1);
+  PutU32(&dst[28], header.tag);
+  PutU32(&dst[32], header.seq);
+  PutU16(&dst[36], header.dst_node);
+  // The destination may be uninitialized pool storage: the reserved tail
+  // must be written explicitly or stale bytes leak onto the wire.
+  dst[38] = 0;
+  dst[39] = 0;
+}
+
+util::Buffer EncodeChunk(const ChunkHeader& header,
+                         std::span<const std::uint8_t> data) {
+  auto out = util::Buffer::Uninitialized(ChunkHeader::kWireSize + data.size());
+  std::uint8_t* p = out.MutableData();
+  EncodeHeaderInto(header, p);
   if (!data.empty()) {
-    std::memcpy(out.data() + ChunkHeader::kWireSize, data.data(), data.size());
+    std::memcpy(p + ChunkHeader::kWireSize, data.data(), data.size());
   }
   return out;
 }

@@ -18,8 +18,10 @@ bool SkipAuth(XdrReader& r) {
 }
 }  // namespace
 
-std::vector<std::uint8_t> EncodeCall(const CallMessage& call) {
-  XdrWriter w;
+void EncodeCallInto(const CallMessage& call, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(10 * 4 + call.args.size());  // header words + body, one alloc
+  XdrWriter w(out);
   w.PutU32(call.xid);
   w.PutU32(static_cast<std::uint32_t>(MsgType::kCall));
   w.PutU32(kRpcVersion);
@@ -28,22 +30,32 @@ std::vector<std::uint8_t> EncodeCall(const CallMessage& call) {
   w.PutU32(call.proc);
   PutNullAuth(w);  // credentials
   PutNullAuth(w);  // verifier
-  auto out = w.Take();
   out.insert(out.end(), call.args.begin(), call.args.end());
+}
+
+std::vector<std::uint8_t> EncodeCall(const CallMessage& call) {
+  std::vector<std::uint8_t> out;
+  EncodeCallInto(call, out);
   return out;
 }
 
-std::vector<std::uint8_t> EncodeReply(const ReplyMessage& reply) {
-  XdrWriter w;
+void EncodeReplyInto(const ReplyMessage& reply, std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.reserve(7 * 4 + reply.results.size());
+  XdrWriter w(out);
   w.PutU32(reply.xid);
   w.PutU32(static_cast<std::uint32_t>(MsgType::kReply));
   w.PutU32(static_cast<std::uint32_t>(ReplyStat::kAccepted));
   PutNullAuth(w);  // verifier
   w.PutU32(static_cast<std::uint32_t>(reply.stat));
-  auto out = w.Take();
   if (reply.stat == AcceptStat::kSuccess) {
     out.insert(out.end(), reply.results.begin(), reply.results.end());
   }
+}
+
+std::vector<std::uint8_t> EncodeReply(const ReplyMessage& reply) {
+  std::vector<std::uint8_t> out;
+  EncodeReplyInto(reply, out);
   return out;
 }
 

@@ -73,7 +73,8 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcClient::Call(
   // XDR marshalling.
   co_await sim_.Delay(vp.xdr_per_call +
                       sim::NsForBytes(call.args.size(), vp.xdr_mb_s));
-  std::vector<std::uint8_t> wire = EncodeCall(call);
+  std::vector<std::uint8_t> wire;
+  EncodeCallInto(call, wire);
 
   auto response = co_await transport_->RoundTrip(std::move(wire));
   if (!response.ok()) {

@@ -3,10 +3,10 @@
 namespace vmmc::vrpc {
 
 void XdrWriter::PutU32(std::uint32_t v) {
-  buffer_.push_back(static_cast<std::uint8_t>(v >> 24));
-  buffer_.push_back(static_cast<std::uint8_t>(v >> 16));
-  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_->push_back(static_cast<std::uint8_t>(v >> 24));
+  buffer_->push_back(static_cast<std::uint8_t>(v >> 16));
+  buffer_->push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_->push_back(static_cast<std::uint8_t>(v));
 }
 
 void XdrWriter::PutU64(std::uint64_t v) {
@@ -16,8 +16,8 @@ void XdrWriter::PutU64(std::uint64_t v) {
 
 void XdrWriter::PutOpaque(std::span<const std::uint8_t> bytes) {
   PutU32(static_cast<std::uint32_t>(bytes.size()));
-  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
-  while (buffer_.size() % 4 != 0) buffer_.push_back(0);
+  buffer_->insert(buffer_->end(), bytes.begin(), bytes.end());
+  while (buffer_->size() % 4 != 0) buffer_->push_back(0);
 }
 
 void XdrWriter::PutString(const std::string& s) {

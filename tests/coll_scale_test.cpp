@@ -20,6 +20,7 @@ using vmmc_core::ClusterOptions;
 
 struct RunResult {
   sim::Tick end_time = 0;
+  std::uint64_t events = 0;
   std::uint64_t link_packets = 0;
   sim::Tick queue_wait = 0;
   std::uint64_t hol_stalls = 0;
@@ -68,6 +69,7 @@ RunResult RunAllReduce(const ClusterOptions& options, std::size_t elems) {
   EXPECT_TRUE(sim.RunUntil([&] { return finished == size; }, 60'000'000'000ll));
 
   out.end_time = sim.now();
+  out.events = sim.events_processed();
   out.link_packets = cluster.fabric().total_link_packets();
   out.queue_wait = cluster.fabric().total_queue_wait();
   out.hol_stalls = cluster.fabric().total_hol_stalls();
@@ -96,6 +98,13 @@ TEST(CollScaleTest, SixteenNodeFatTreeRingAllReduce) {
   const RunResult r = RunAllReduce(options.value(), 32);
   EXPECT_EQ(r.values, ExpectedSum(16, 32));
   EXPECT_GT(r.link_packets, 0u);
+  // Exact event-count golden: the three-tier queue must dispatch the
+  // byte-identical schedule the pre-rework priority queue did. Any change
+  // in event order, count or timing shows up here immediately. (Update
+  // only for deliberate model changes, together with EXPERIMENTS.md.)
+  EXPECT_EQ(r.events, 657214u);
+  EXPECT_EQ(r.end_time, 21279930);
+  EXPECT_EQ(r.link_packets, 7064u);
 }
 
 TEST(CollScaleTest, EightNodeRingAllReduce) {
@@ -103,6 +112,9 @@ TEST(CollScaleTest, EightNodeRingAllReduce) {
   ASSERT_TRUE(options.ok());
   const RunResult r = RunAllReduce(options.value(), 32);
   EXPECT_EQ(r.values, ExpectedSum(8, 32));
+  // Exact event-count golden (see the fat-tree test above).
+  EXPECT_EQ(r.events, 163871u);
+  EXPECT_EQ(r.end_time, 10696393);
 }
 
 TEST(CollScaleTest, FatTreeRunsAreDeterministic) {

@@ -66,7 +66,7 @@ TEST(PacketTest, WireSizeAndCrcStamp) {
   EXPECT_EQ(p.wire_bytes(), 2u + 3u + 1u);
   p.StampCrc();
   EXPECT_TRUE(p.CrcOk());
-  p.payload[1] ^= 0x40;
+  p.payload.MutableData()[1] ^= 0x40;
   EXPECT_FALSE(p.CrcOk());
 }
 
@@ -107,7 +107,8 @@ TEST_F(FabricTest, SingleSwitchDeliveryTimingAndIntegrity) {
   Packet p;
   p.route = route.value();
   p.payload.resize(1000);
-  std::iota(p.payload.begin(), p.payload.end(), 0);
+  std::iota(p.payload.MutableData(), p.payload.MutableData() + 1000,
+            std::uint8_t{0});
   auto sent_payload = p.payload;
   ASSERT_TRUE(fabric.Inject(na, std::move(p)).ok());
   sim_.Run();

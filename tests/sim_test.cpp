@@ -87,7 +87,8 @@ TEST(ProcessTest, SpawnedProcessRunsAndCompletes) {
 
 Process Parent(Simulator& sim, std::vector<std::string>& log) {
   log.push_back("parent-start");
-  co_await Sleeper(sim, 50, *new std::vector<Tick>());  // NOLINT: leak ok in test
+  std::vector<Tick> wakes;  // lives in the frame; the child finishes first
+  co_await Sleeper(sim, 50, wakes);
   log.push_back("parent-after-child@" + std::to_string(sim.now()));
 }
 

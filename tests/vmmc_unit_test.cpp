@@ -203,11 +203,12 @@ TEST(WireTest, MalformedPayloadsRejected) {
   h.chunk_len = 100;
   std::vector<std::uint8_t> data(100);
   auto payload = EncodeChunk(h, data);
-  payload.pop_back();  // truncated
+  ASSERT_FALSE(payload.empty());
+  payload.resize(payload.size() - 1);  // truncated
   EXPECT_FALSE(DecodeChunk(payload).has_value());
 
   auto good = EncodeChunk(h, data);
-  good[0] = 0xEE;  // bogus type
+  good.MutableData()[0] = 0xEE;  // bogus type
   EXPECT_FALSE(DecodeChunk(good).has_value());
 }
 

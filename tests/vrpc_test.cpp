@@ -59,8 +59,7 @@ TEST(XdrTest, StringsAndTruncationDetected) {
   EXPECT_EQ(good.GetString(), "hello vmmc");
 
   auto bytes = w.bytes();
-  bytes.pop_back();
-  XdrReader bad(bytes);
+  XdrReader bad(bytes.first(bytes.size() - 1));
   (void)bad.GetString();
   EXPECT_FALSE(bad.ok());
 }
