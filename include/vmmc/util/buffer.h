@@ -14,10 +14,16 @@
 //    in-flight copy of a packet never corrupts the retx-pool's copy.
 //  - Read access is const-only: there is no mutable operator[]/begin/end,
 //    so a read like `payload[0]` can never trigger an accidental unshare.
-//  - Like the rest of the simulator, Buffer is single-threaded by design:
-//    ref counts and the pool are not synchronized.
+//  - Thread safety matches the parallel engine's needs (sim/parallel.h):
+//    ref counts are atomic (a packet's payload crosses LP shards by
+//    reference), and the recycling pool is thread-local so steady-state
+//    alloc/free takes no lock. A block released on a different thread
+//    than it was allocated on simply joins the releasing thread's pool.
+//    Distinct Buffer objects may be used from distinct threads; a single
+//    Buffer object is still single-owner, like any value type.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -32,13 +38,16 @@ namespace vmmc::util {
 class Buffer {
  public:
   // Pool observability (see buffer_test.cpp and the allocation-count
-  // tests): cumulative counters since process start.
+  // tests): cumulative counters since thread start. The pool — and these
+  // stats — are thread-local; live_blocks is signed because a block
+  // allocated on one thread may be released on another, driving one
+  // thread's count negative and the other's high (the sum stays exact).
   struct PoolStats {
     std::uint64_t allocs = 0;       // block requests (any source)
     std::uint64_t pool_hits = 0;    // ... served from a free list
     std::uint64_t heap_allocs = 0;  // ... served by operator new
     std::uint64_t unshares = 0;     // copy-on-write deep copies
-    std::uint64_t live_blocks = 0;  // blocks currently referenced
+    std::int64_t live_blocks = 0;   // blocks currently referenced
   };
 
   Buffer() noexcept = default;
@@ -77,10 +86,14 @@ class Buffer {
 
   Buffer(const Buffer& other) noexcept
       : block_(other.block_), size_(other.size_) {
-    if (block_ != nullptr) ++block_->refs;
+    if (block_ != nullptr) {
+      block_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   Buffer& operator=(const Buffer& other) noexcept {
-    if (other.block_ != nullptr) ++other.block_->refs;
+    if (other.block_ != nullptr) {
+      other.block_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
     Unref();
     block_ = other.block_;
     size_ = other.size_;
@@ -116,7 +129,12 @@ class Buffer {
   operator std::span<const std::uint8_t>() const { return {data(), size_}; }
 
   // True if no other Buffer shares the bytes (mutation won't copy).
-  bool unique() const { return block_ == nullptr || block_->refs == 1; }
+  // Acquire pairs with the release decrement in Unref: seeing refs == 1
+  // also sees every write the former co-owner made before letting go.
+  bool unique() const {
+    return block_ == nullptr ||
+           block_->refs.load(std::memory_order_acquire) == 1;
+  }
 
   // Write access to the bytes; un-shares first. nullptr when empty.
   std::uint8_t* MutableData() {
@@ -138,7 +156,7 @@ class Buffer {
     const std::size_t old = size_;
     if (block_ == nullptr) {
       block_ = Alloc(n);
-    } else if (block_->refs > 1 || block_->capacity < n) {
+    } else if (!unique() || block_->capacity < n) {
       Unshare(n);
     }
     size_ = n;
@@ -184,9 +202,10 @@ class Buffer {
  private:
   // Block header; payload bytes follow in the same allocation. `cls` is
   // the size-class index, or kNoClass for exact-size blocks above the
-  // largest class (freed to the heap, not pooled).
+  // largest class (freed to the heap, not pooled). refs is the only field
+  // touched concurrently (shared payloads crossing shard boundaries).
   struct Block {
-    std::uint32_t refs;
+    std::atomic<std::uint32_t> refs;
     std::uint32_t cls;
     std::size_t capacity;
     Block* next_free;
@@ -201,9 +220,21 @@ class Buffer {
   struct Pool {
     Block* free_lists[kNumClasses] = {};
     PoolStats stats;
+    // Worker threads are short-lived (one Run* call each); without this
+    // their pooled blocks would accumulate across runs.
+    ~Pool() {
+      for (Block* b : free_lists) {
+        while (b != nullptr) {
+          Block* next = b->next_free;
+          FreeHeapBlock(b);
+          b = next;
+        }
+      }
+    }
   };
+  // Thread-local: lock-free recycling for shard worker threads.
   static Pool& pool() {
-    static Pool p;
+    thread_local Pool p;
     return p;
   }
 
@@ -221,19 +252,19 @@ class Buffer {
       if (Block* b = p.free_lists[cls]; b != nullptr) {
         p.free_lists[cls] = b->next_free;
         ++p.stats.pool_hits;
-        b->refs = 1;
+        b->refs.store(1, std::memory_order_relaxed);
         return b;
       }
       ++p.stats.heap_allocs;
       auto* b = static_cast<Block*>(::operator new(sizeof(Block) + capacity));
-      b->refs = 1;
+      b->refs.store(1, std::memory_order_relaxed);
       b->cls = cls;
       b->capacity = capacity;
       return b;
     }
     ++p.stats.heap_allocs;
     auto* b = static_cast<Block*>(::operator new(sizeof(Block) + n));
-    b->refs = 1;
+    b->refs.store(1, std::memory_order_relaxed);
     b->cls = kNoClass;
     b->capacity = n;
     return b;
@@ -256,13 +287,19 @@ class Buffer {
   static void FreeHeapBlock(Block* b);
 
   void Unref() {
-    if (block_ != nullptr && --block_->refs == 0) Release(block_);
+    // acq_rel: the release half orders this owner's writes before the
+    // drop; the acquire half (taken by whoever hits zero) orders the
+    // block's recycling after every other owner's writes.
+    if (block_ != nullptr &&
+        block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      Release(block_);
+    }
   }
 
   // Ensures block_ is an unshared block of capacity >= n holding the
   // first size_ bytes of the current content.
   void Unshare(std::size_t n) {
-    if (block_->refs == 1 && block_->capacity >= n) return;
+    if (unique() && block_->capacity >= n) return;
     ++pool().stats.unshares;
     Block* fresh = Alloc(n);
     std::memcpy(fresh->bytes(), block_->bytes(), size_);
@@ -273,7 +310,7 @@ class Buffer {
   // Ensures block_ is an unshared block of capacity >= n; content is
   // NOT preserved (the caller overwrites it).
   void Reserve(std::size_t n) {
-    if (block_ != nullptr && block_->refs == 1 && block_->capacity >= n) return;
+    if (block_ != nullptr && unique() && block_->capacity >= n) return;
     Unref();
     block_ = n != 0 ? Alloc(n) : nullptr;
   }

@@ -1,0 +1,68 @@
+// Env-driven front-end for standing up a cluster on either execution
+// substrate (see cluster.h):
+//
+//   VMMC_THREADS unset, empty, or <= 1  ->  one Simulator, the historical
+//       single event queue. Bit-identical to every prior release.
+//   VMMC_THREADS=N (N >= 2)             ->  a ParallelEngine with N worker
+//       threads driving the partitioned cluster (one logical process per
+//       node, per switch, and for the Ethernet segment).
+//
+// The partition is a pure function of the topology — VMMC_THREADS only
+// picks how many OS threads execute it — so any N >= 2 produces the
+// identical event schedule and results. N may exceed the core count;
+// excess workers just contend. Benches and tests that want explicit
+// control pass RuntimeOptions::threads instead of using the environment.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "vmmc/params.h"
+#include "vmmc/sim/fault.h"
+#include "vmmc/sim/parallel.h"
+#include "vmmc/sim/simulator.h"
+#include "vmmc/vmmc/cluster.h"
+
+namespace vmmc::vmmc_core {
+
+struct RuntimeOptions {
+  // Worker threads: 1 = single simulator; >= 2 = partitioned cluster with
+  // that many workers; 0 (default) = read VMMC_THREADS.
+  int threads = 0;
+  // Capacity of each cross-shard event channel (events per directed shard
+  // pair per synchronization window). Overflow aborts loudly.
+  std::size_t channel_capacity = 1024;
+};
+
+// Owns the substrate (Simulator or ParallelEngine) and the Cluster built
+// on it. Drive the cluster through its substrate-neutral methods
+// (DriveUntil / DriveUntilQuiescent / time_now / MergeMetricsInto) and
+// spawn per-node workloads on cluster().node_sim(i).
+class ClusterRuntime {
+ public:
+  // Parses VMMC_THREADS; unset / unparsable / < 2 yields 1.
+  static int EnvThreads();
+
+  ClusterRuntime(const Params& params, ClusterOptions options,
+                 RuntimeOptions rt = {});
+
+  Cluster& cluster() { return *cluster_; }
+  Cluster* operator->() { return cluster_.get(); }
+  bool parallel() const { return engine_ != nullptr; }
+  int threads() const { return threads_; }
+  sim::ParallelEngine* engine() { return engine_.get(); }
+
+  // Installs `plan` on every shard's injector (serial: the one simulator).
+  // Each shard draws from its own stream seeded by plan.seed, so fault
+  // placement is deterministic for a given topology but differs from the
+  // single-simulator schedule.
+  void ConfigureFaults(const sim::FaultPlan& plan);
+
+ private:
+  std::unique_ptr<sim::Simulator> sim_;          // threads == 1
+  std::unique_ptr<sim::ParallelEngine> engine_;  // threads >= 2
+  std::unique_ptr<Cluster> cluster_;
+  int threads_ = 1;
+};
+
+}  // namespace vmmc::vmmc_core

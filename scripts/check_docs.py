@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Keep EXPERIMENTS.md honest.
 
-Two jobs, both cheap enough for ctest:
+Three jobs, all cheap enough for ctest:
 
   1. Smoke-run the user-facing examples (quickstart, collectives_demo):
      they must exit 0, so the README's first-contact commands never rot.
@@ -9,6 +9,11 @@ Two jobs, both cheap enough for ctest:
      in EXPERIMENTS.md against the fresh output. Any cell drifting more
      than DRIFT (2%) fails the test: either the code regressed or the
      tables were not refreshed after a deliberate timing change.
+  3. Re-run fig2 once per VMMC_THREADS setting documented in the
+     "Determinism fingerprints" section and require the md5 of the fresh
+     output to equal the documented hash — the single-thread hash pins
+     serial bit-stability, the multi-thread hash pins worker-count
+     independence of simulated time.
 
 Usage:
   check_docs.py <experiments.md> <fig2_bench> <fig3_bench> <example>...
@@ -16,6 +21,8 @@ Usage:
 Exit status 0 on success; per-row diagnostics on stderr otherwise.
 """
 
+import hashlib
+import os
 import re
 import subprocess
 import sys
@@ -28,9 +35,14 @@ def fail(msg):
     sys.exit(1)
 
 
-def run(cmd):
+def run(cmd, env=None):
+    full_env = None
+    if env:
+        full_env = dict(os.environ)
+        full_env.update(env)
     proc = subprocess.run(cmd, stdout=subprocess.PIPE,
-                          stderr=subprocess.DEVNULL, timeout=600)
+                          stderr=subprocess.DEVNULL, timeout=600,
+                          env=full_env)
     if proc.returncode != 0:
         fail("command %r exited with %d" % (cmd, proc.returncode))
     return proc.stdout.decode("utf-8", errors="replace")
@@ -127,8 +139,10 @@ def main():
 
     failures = []
 
-    # 2a. Figure 2: | bytes | measured µs |
-    fig2 = parse_bench(run([fig2_bench]), columns=1)
+    # 2a. Figure 2: | bytes | measured µs |. The tables document the
+    # serial substrate, so pin VMMC_THREADS rather than inherit it.
+    fig2 = parse_bench(run([fig2_bench], env={"VMMC_THREADS": "1"}),
+                       columns=1)
     rows = table_rows(section(text, "Figure 2"))
     if not rows:
         fail("Figure 2 section has no table rows")
@@ -140,7 +154,8 @@ def main():
                   fig2[key][0], failures)
 
     # 2b. Figure 3: | bytes | ping-pong MB/s | bidirectional MB/s |
-    fig3 = parse_bench(run([fig3_bench]), columns=2)
+    fig3 = parse_bench(run([fig3_bench], env={"VMMC_THREADS": "1"}),
+                       columns=2)
     rows = table_rows(section(text, "Figure 3"))
     if not rows:
         fail("Figure 3 section has no table rows")
@@ -153,15 +168,38 @@ def main():
         check_row("fig3", key, "bidirectional MB/s", cell_value(cells[2]),
                   fig3[key][1], failures)
 
+    # 2c. Determinism fingerprints: the documented md5 of the fig2 output
+    # for each VMMC_THREADS setting must match a fresh run. This pins both
+    # properties the parallel engine promises: the serial substrate is
+    # bit-stable, and worker count does not change simulated time.
+    n_hashes = 0
+    for cells in table_rows(section(text, "Determinism fingerprints")):
+        m = re.search(r"VMMC_THREADS=(\d+)", cells[0])
+        h = re.search(r"[0-9a-f]{32}", cells[1])
+        if m is None or h is None:
+            fail("unparsable fingerprint row %r" % cells)
+        threads, doc_hash = m.group(1), h.group(0)
+        out = run([fig2_bench], env={"VMMC_THREADS": threads})
+        fresh = hashlib.md5(out.encode("utf-8")).hexdigest()
+        if fresh != doc_hash:
+            failures.append(
+                "fig2 fingerprint VMMC_THREADS=%s: doc %s, fresh %s"
+                % (threads, doc_hash, fresh))
+        n_hashes += 1
+    if n_hashes < 2:
+        fail("Determinism fingerprints section needs a single-thread and a "
+             "multi-thread row, found %d" % n_hashes)
+
     if failures:
         for f in failures:
             print("check_docs: " + f, file=sys.stderr)
-        fail("%d table cell(s) drifted — update EXPERIMENTS.md or fix the "
+        fail("%d doc check(s) failed — update EXPERIMENTS.md or fix the "
              "regression" % len(failures))
 
-    print("check_docs: OK (%d examples, %d fig2 rows, %d fig3 rows)"
+    print("check_docs: OK (%d examples, %d fig2 rows, %d fig3 rows, "
+          "%d fingerprints)"
           % (len(examples), len(table_rows(section(text, "Figure 2"))),
-             len(table_rows(section(text, "Figure 3")))))
+             len(table_rows(section(text, "Figure 3"))), n_hashes))
 
 
 if __name__ == "__main__":

@@ -1,19 +1,29 @@
-# Configure, build and run the core engine tests under ASan + UBSan.
-# Driven by the `sanitize_core_tests` ctest entry:
-#   cmake -DVMMC_SRC=<src> -DVMMC_BIN=<bin> -P sanitize_check.cmake
-# Covers the tests that exercise the event-node pool, InlineFn storage and
-# the Buffer ref-count/pool code most heavily.
+# Configure, build and run a set of tests under a sanitizer.
+# Driven by the `sanitize_core_tests` and `tsan_engine_tests` ctest entries:
+#   cmake -DVMMC_SRC=<src> -DVMMC_BIN=<bin> [-DVMMC_SAN=<list>]
+#         [-DVMMC_TESTS=<list>] -P sanitize_check.cmake
+# Defaults cover the tests that exercise the event-node pool, InlineFn
+# storage and the Buffer ref-count/pool code most heavily under
+# ASan + UBSan; the TSan entry passes VMMC_SAN=thread and the parallel
+# engine test instead (worker threads + SPSC channels + atomics).
 
 if(NOT VMMC_SRC OR NOT VMMC_BIN)
   message(FATAL_ERROR "usage: cmake -DVMMC_SRC=<src> -DVMMC_BIN=<bin> -P sanitize_check.cmake")
 endif()
 
-set(_tests sim_test task_test topology_test)
+if(NOT VMMC_SAN)
+  set(VMMC_SAN "address,undefined")
+endif()
+if(NOT VMMC_TESTS)
+  set(VMMC_TESTS sim_test task_test topology_test)
+endif()
+
+set(_tests ${VMMC_TESTS})
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -S ${VMMC_SRC} -B ${VMMC_BIN}
           -DCMAKE_BUILD_TYPE=RelWithDebInfo
-          "-DVMMC_SANITIZE=address,undefined"
+          "-DVMMC_SANITIZE=${VMMC_SAN}"
   RESULT_VARIABLE _rc)
 if(NOT _rc EQUAL 0)
   message(FATAL_ERROR "sanitized configure failed")
@@ -27,7 +37,7 @@ if(NOT _rc EQUAL 0)
 endif()
 
 foreach(_t IN LISTS _tests)
-  message(STATUS "running ${_t} under ASan/UBSan")
+  message(STATUS "running ${_t} under -fsanitize=${VMMC_SAN}")
   execute_process(
     COMMAND ${VMMC_BIN}/tests/${_t}
     RESULT_VARIABLE _rc)

@@ -63,7 +63,7 @@ sim::Process Communicator::EnsureOne(Communicator* self, int peer,
 }
 
 sim::Task<Status> Communicator::EnsureLinks(int a, int b) {
-  sim::Simulator& sim = cluster_.simulator();
+  sim::Simulator& sim = cluster_.node_sim(rank_);
   int pending = 0;
   Status first_error = OkStatus();
   const int peers[2] = {a, a == b ? rank_ : b};  // rank_ entries are skipped
@@ -128,7 +128,7 @@ sim::Task<Status> Communicator::SendTo(int peer, std::span<const std::uint8_t> d
   Status ready = co_await EnsureLink(peer);
   if (!ready.ok()) co_return ready;
   Link& link = links_.find(peer)->second;
-  sim::Simulator& sim = cluster_.simulator();
+  sim::Simulator& sim = cluster_.node_sim(rank_);
 
   // Credit: the previous message on this link must have been consumed.
   while (ReadWord(link.ack_word) != link.next_send_seq - 1) {
@@ -163,7 +163,7 @@ sim::Task<Result<std::vector<std::uint8_t>>> Communicator::RecvFrom(int peer) {
   Status ready = co_await EnsureLink(peer);
   if (!ready.ok()) co_return Out(ready);
   Link& link = links_.find(peer)->second;
-  sim::Simulator& sim = cluster_.simulator();
+  sim::Simulator& sim = cluster_.node_sim(rank_);
 
   while (ReadWord(link.recv_slot + kTrailerOff + 4) != link.next_recv_seq) {
     co_await sim.Delay(1500);

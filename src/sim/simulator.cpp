@@ -1,6 +1,7 @@
 #include "vmmc/sim/simulator.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "vmmc/util/log.h"
 
@@ -16,7 +17,13 @@ namespace {
 // Pool blocks outlive individual Simulators: short-lived simulators
 // (benches, tests) would otherwise free megabytes of node storage on
 // every teardown, which glibc trims back to the kernel and the next
-// Simulator pays to fault in and zero again.
+// Simulator pays to fault in and zero again. The cache is process-wide
+// while shard simulators run on worker threads, hence the mutex — it is
+// only touched on construction/teardown/refill, never per event.
+std::mutex& BlockCacheMutex() {
+  static std::mutex m;
+  return m;
+}
 std::vector<std::unique_ptr<unsigned char[]>>& BlockCache() {
   static std::vector<std::unique_ptr<unsigned char[]>> cache;
   return cache;
@@ -33,6 +40,7 @@ Simulator::~Simulator() {
   for (const HeapSlot& s : heap_) s.node->fn.Reset();
   for (EventNode* n = fifo_head_; n != nullptr; n = n->next) n->fn.Reset();
   for (EventNode* n = tail_head_; n != nullptr; n = n->next) n->fn.Reset();
+  std::lock_guard<std::mutex> lock(BlockCacheMutex());
   auto& cache = BlockCache();
   for (auto& block : pool_blocks_) {
     if (cache.size() >= kBlockCacheMax) break;
@@ -40,12 +48,22 @@ Simulator::~Simulator() {
   }
 }
 
+void Simulator::BindShard(ParallelEngine* engine, int shard_id) {
+  engine_ = engine;
+  shard_id_ = shard_id;
+  // now_ must not feed the process-global log clock once other shards can
+  // advance concurrently on other threads.
+  if (GetLogSimClock() == &now_) SetLogSimClock(nullptr);
+}
+
 void Simulator::RefillPool() {
+  std::unique_lock<std::mutex> lock(BlockCacheMutex());
   auto& cache = BlockCache();
   if (!cache.empty()) {
     pool_blocks_.push_back(std::move(cache.back()));
     cache.pop_back();
   } else {
+    lock.unlock();
     // for_overwrite: the block is raw storage for placement-new'd nodes;
     // value-initializing it would memset the whole block for nothing.
     pool_blocks_.push_back(std::make_unique_for_overwrite<unsigned char[]>(
@@ -157,6 +175,29 @@ bool Simulator::Step() {
 std::uint64_t Simulator::Run(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && Step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::RunWindow(Tick end) {
+  std::uint64_t n = 0;
+  for (;;) {
+    if (fifo_head_ != nullptr) {  // now-FIFO events are at now() < end
+      Step();
+      ++n;
+      continue;
+    }
+    const bool tail_due = tail_head_ != nullptr && tail_head_->time < end;
+    const bool heap_due = !heap_.empty() && heap_.front().time < end;
+    if (!tail_due && !heap_due) break;
+    Step();
+    ++n;
+  }
+  // Advance to the window boundary even when idle. Every shard's clock
+  // lands on the same boundary each iteration, so shard clocks never
+  // diverge: work injected between engine runs (spawns at a shard-local
+  // now()) is at a consistent global instant, and a cross-shard event
+  // that respects the lookahead is never behind its receiver's clock.
+  if (end > now_) now_ = end;
   return n;
 }
 

@@ -16,6 +16,23 @@ void OnlineStats::Add(double x) {
   max_ = std::max(max_, x);
 }
 
+void OnlineStats::MergeFrom(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double OnlineStats::variance() const {
   if (count_ == 0) return 0.0;
   // m2_ can go epsilon-negative through floating-point cancellation.

@@ -1,0 +1,45 @@
+#include "vmmc/vmmc/runtime.h"
+
+#include <cstdlib>
+
+namespace vmmc::vmmc_core {
+
+int ClusterRuntime::EnvThreads() {
+  const char* env = std::getenv("VMMC_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 2) return 1;
+  return v > 256 ? 256 : static_cast<int>(v);
+}
+
+ClusterRuntime::ClusterRuntime(const Params& params, ClusterOptions options,
+                               RuntimeOptions rt) {
+  threads_ = rt.threads > 0 ? rt.threads : EnvThreads();
+  if (threads_ >= 2) {
+    sim::ParallelEngine::Options eopts;
+    eopts.workers = threads_;
+    eopts.channel_capacity = rt.channel_capacity;
+    // Minimum one-hop wormhole latency is the conservative lookahead: no
+    // cross-LP influence can travel faster than one link traversal.
+    engine_ = std::make_unique<sim::ParallelEngine>(params.net.link_latency,
+                                                    eopts);
+    cluster_ = std::make_unique<Cluster>(*engine_, params, options);
+  } else {
+    threads_ = 1;
+    sim_ = std::make_unique<sim::Simulator>();
+    cluster_ = std::make_unique<Cluster>(*sim_, params, options);
+  }
+}
+
+void ClusterRuntime::ConfigureFaults(const sim::FaultPlan& plan) {
+  if (engine_ != nullptr) {
+    for (int s = 0; s < engine_->num_shards(); ++s) {
+      engine_->shard(s).faults().Configure(plan);
+    }
+  } else {
+    sim_->faults().Configure(plan);
+  }
+}
+
+}  // namespace vmmc::vmmc_core
