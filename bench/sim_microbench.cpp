@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "vmmc/vmmc/p2p.h"
 #include "vmmc/vmmc/runtime.h"
 #include "vmmc/coll/communicator.h"
 #include "vmmc/myrinet/topology.h"
@@ -211,6 +212,59 @@ void BM_MacroFaultSweepReplay(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_MacroFaultSweepReplay)->Unit(benchmark::kMillisecond);
+
+// Rendezvous stream: a two-node point-to-point channel pushing 64 KB
+// messages — RTS posting, reader-pull RdmaRead serving, completion fins
+// and the registration cache all on the hot path.
+void BM_MacroRendezvousStream(benchmark::State& state) {
+  using namespace vmmc;
+  using namespace vmmc::bench;
+  using vmmc_core::P2pChannel;
+  constexpr std::uint32_t kLen = 64 * 1024;
+  constexpr int kIters = 200;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    TwoNodeFixture fx(DefaultParams(), 2 * 1024 * 1024);
+    std::unique_ptr<P2pChannel> ca, cb;
+    int ready = 0;
+    auto make = [&fx, &ready](vmmc_core::Endpoint& ep, int peer,
+                              std::unique_ptr<P2pChannel>* dst) -> Process {
+      auto c = co_await P2pChannel::Create(ep, peer, "bm",
+                                           DefaultParams().vmmc.p2p);
+      if (c.ok()) *dst = std::move(c).value();
+      ++ready;
+    };
+    fx.sim().Spawn(make(fx.a(), 1, &ca));
+    fx.sim().Spawn(make(fx.b(), 0, &cb));
+    if (!fx.sim().RunUntil([&] { return ready == 2; }, Seconds(10)) || !ca ||
+        !cb) {
+      state.SkipWithError("channel setup failed");
+      return;
+    }
+    bool done = false;
+    auto sender = [&]() -> Process {
+      for (int i = 0; i < kIters; ++i) {
+        (void)co_await ca->Send(fx.a_src(), kLen);
+        (void)co_await ca->Flush();
+      }
+      done = true;
+    };
+    auto receiver = [&]() -> Process {
+      for (int i = 0; i < kIters; ++i) {
+        (void)co_await cb->RecvInto(fx.b_recv_va(), kLen);
+      }
+    };
+    fx.sim().Spawn(receiver());
+    fx.sim().Spawn(sender());
+    if (!fx.sim().RunUntil([&] { return done; }, Seconds(60))) {
+      state.SkipWithError("stream stalled");
+      return;
+    }
+    events += fx.sim().events_processed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_MacroRendezvousStream)->Unit(benchmark::kMillisecond);
 
 // The allreduce macro on the partitioned cluster (vmmc/runtime.h), worker
 // count as the benchmark argument. /1 runs the serial substrate — the

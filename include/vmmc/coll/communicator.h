@@ -3,14 +3,24 @@
 // technology ... is a high-performance communication mechanism that
 // supports protected, user-level message passing").
 //
-// A Communicator gives one rank (one process, one node) point-to-point
-// links to every peer, each built from a pair of exported slot buffers
-// with credit-based flow control — the receiver-managed buffer management
-// VMMC makes possible (§2). On top of the links:
+// A Communicator gives one rank (one process, one node) a P2pChannel to
+// every peer it talks to. The channel picks the wire protocol per message
+// (eager copy-through below the crossover, zero-copy reader-pull
+// rendezvous above it — see vmmc/p2p.h); the communicator picks the
+// collective algorithm per vector size:
 //
 //   Barrier()            dissemination barrier, ceil(log2 N) rounds
 //   Broadcast(root,...)  binomial tree
-//   AllReduceSum(...)    ring reduce-scatter + all-gather
+//   AllReduceSum(...)    selected by payload size (SelectAllReduce):
+//                          - one rank: nothing to do;
+//                          - vectors that fit one eager message are
+//                            latency-bound: recursive doubling when the
+//                            world is a power of two, binomial-tree
+//                            reduce + broadcast otherwise;
+//                          - larger divisible vectors are bandwidth-
+//                            bound: ring reduce-scatter + all-gather;
+//                          - larger indivisible vectors: gather at rank
+//                            0, reduce, broadcast.
 //   Gather(root,...)     direct sends to the root
 //   SendTo/RecvFrom      the raw point-to-point layer
 //
@@ -27,22 +37,32 @@
 #include "vmmc/sim/process.h"
 #include "vmmc/sim/task.h"
 #include "vmmc/vmmc/cluster.h"
+#include "vmmc/vmmc/p2p.h"
 
 namespace vmmc::coll {
 
 struct CommOptions {
-  // false: Create() builds all N-1 point-to-point links up front (N^2
+  // false: Create() builds all N-1 point-to-point channels up front (N^2
   // exported buffers across the job — fine at paper scale). true: a
-  // link materializes on first SendTo/RecvFrom touching that peer, so a
-  // ring allreduce on 64 nodes sets up 2 links per rank instead of 63.
-  // Both sides of a lazy link converge because the import handshake
-  // waits for the peer's export.
+  // channel materializes on first SendTo/RecvFrom touching that peer, so
+  // a ring allreduce on 64 nodes sets up 2 channels per rank instead of
+  // 63. Both sides of a lazy channel converge because the import
+  // handshake waits for the peer's export.
   bool lazy_links = false;
 };
 
 class Communicator {
  public:
   using Options = CommOptions;
+
+  // Which algorithm AllReduceSum will run for an n-element vector.
+  enum class AllReduceAlgo {
+    kSingle,             // size() == 1: no communication
+    kRecursiveDoubling,  // small vector, power-of-two world
+    kBinomialTree,       // small vector, any world size
+    kRing,               // large vector divisible by size()
+    kGatherBroadcast,    // large indivisible vector
+  };
 
   // One call per rank; ranks are node ids. `tag` isolates independent
   // communicators in the daemon's export namespace.
@@ -54,8 +74,10 @@ class Communicator {
   int size() const { return size_; }
   vmmc_core::Endpoint& endpoint() { return *ep_; }
 
-  // --- point to point (message-passing semantics over the links) ---
-  // Blocks until the peer consumed the previous message on this link.
+  // --- point to point (message-passing semantics over the channels) ---
+  // Blocks until the peer consumed the previous message on this channel;
+  // the channel then stages `data`, so the caller's bytes are free to
+  // change as soon as this returns (eager and rendezvous alike).
   sim::Task<Status> SendTo(int peer, std::span<const std::uint8_t> data);
   // Blocks until the next message from `peer` arrives; returns its bytes.
   sim::Task<Result<std::vector<std::uint8_t>>> RecvFrom(int peer);
@@ -64,19 +86,27 @@ class Communicator {
   sim::Task<Status> Barrier();
   // Root's `data` is distributed to everyone (in place on non-roots).
   sim::Task<Status> Broadcast(int root, std::vector<std::uint8_t>& data);
-  // Element-wise sum across ranks, result everywhere. Uses the ring
-  // algorithm when values.size() is divisible by size(), otherwise a
-  // gather+broadcast fallback.
+  // Element-wise sum across ranks, result everywhere; the algorithm is
+  // chosen by SelectAllReduce.
   sim::Task<Status> AllReduceSum(std::vector<std::int64_t>& values);
   // Everyone's data concatenated (rank order) at the root.
   sim::Task<Status> Gather(int root, std::span<const std::uint8_t> mine,
                            std::vector<std::uint8_t>* all);
 
+  // The algorithm AllReduceSum would pick for an n-element int64 vector.
+  // "Small" is one eager message (P2pParams::eager_max): such vectors are
+  // latency-bound, so log-round algorithms win; larger vectors are
+  // bandwidth-bound, so the ring's n/size-sized transfers win.
+  AllReduceAlgo SelectAllReduce(std::size_t n) const;
+
   // Number of collective operations completed (diagnostics).
   std::uint64_t operations() const { return operations_; }
-  // Point-to-point links established so far (== size-1 when eager; grows
-  // on demand when lazy).
-  int links_established() const { return static_cast<int>(links_.size()); }
+  // Point-to-point channels established so far (== size-1 when eager;
+  // grows on demand when lazy).
+  int links_established() const { return static_cast<int>(channels_.size()); }
+  // Channel protocol counters summed over all peers (diagnostics; shows
+  // which wire protocol a collective actually used).
+  vmmc_core::P2pChannel::Stats p2p_stats() const;
 
   static constexpr std::uint32_t kMaxMessage = 64 * 1024;
 
@@ -84,32 +114,23 @@ class Communicator {
   Communicator(vmmc_core::Cluster& cluster, int rank, int size, std::string tag)
       : cluster_(cluster), rank_(rank), size_(size), tag_(std::move(tag)) {}
 
-  // One direction of a point-to-point link.
-  struct Link {
-    // Receive side (exported by us).
-    mem::VirtAddr recv_slot = 0;   // [payload][len][seq]
-    mem::VirtAddr ack_out = 0;     // staging for our consumption acks
-    std::uint32_t next_recv_seq = 1;
-    // Send side (imported from the peer).
-    vmmc_core::ProxyAddr send_slot = 0;
-    vmmc_core::ProxyAddr peer_ack = 0;  // peer's ack word for our sends
-    mem::VirtAddr send_staging = 0;
-    mem::VirtAddr ack_word = 0;  // exported; peer acks land here
-    std::uint32_t next_send_seq = 1;
-  };
-
   sim::Task<Status> SetupLink(int peer);
-  // Validates `peer` and, under Options::lazy_links, builds the link on
-  // first use.
+  // Validates `peer` and, under Options::lazy_links, builds the channel
+  // on first use.
   sim::Task<Status> EnsureLink(int peer);
-  // Materializes the links to `a` and `b` concurrently. Needed before a
-  // cyclic exchange (ring step, barrier round) under lazy_links: each
+  // Materializes the channels to `a` and `b` concurrently. Needed before
+  // a cyclic exchange (ring step, barrier round) under lazy_links: each
   // side's import handshake waits for the peer's export, so two setups
   // that form a cycle across ranks deadlock when run sequentially.
   sim::Task<Status> EnsureLinks(int a, int b);
   static sim::Process EnsureOne(Communicator* self, int peer, int* pending,
                                 Status* first_error);
-  std::uint32_t ReadWord(mem::VirtAddr va) const;
+
+  // AllReduceSum bodies, one per algorithm.
+  sim::Task<Status> AllReduceRecursiveDoubling(std::vector<std::int64_t>& values);
+  sim::Task<Status> AllReduceBinomial(std::vector<std::int64_t>& values);
+  sim::Task<Status> AllReduceRing(std::vector<std::int64_t>& values);
+  sim::Task<Status> AllReduceGatherBroadcast(std::vector<std::int64_t>& values);
 
   vmmc_core::Cluster& cluster_;
   int rank_;
@@ -117,7 +138,7 @@ class Communicator {
   std::string tag_;
   Options options_;
   std::unique_ptr<vmmc_core::Endpoint> ep_;
-  std::map<int, Link> links_;
+  std::map<int, std::unique_ptr<vmmc_core::P2pChannel>> channels_;
   std::uint64_t operations_ = 0;
 };
 

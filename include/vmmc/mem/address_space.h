@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "vmmc/mem/physical_memory.h"
 #include "vmmc/mem/types.h"
@@ -54,9 +56,27 @@ class AddressSpace {
   // returns the base virtual address. Frames come from the scattered
   // allocator, so they are generally not physically contiguous.
   Result<VirtAddr> MapAnonymous(std::uint64_t len, bool writable = true);
-  // Unmaps previously mapped pages and frees their frames. Pinned pages
-  // cannot be unmapped.
+  // Unmaps previously mapped pages and frees their frames.
+  //
+  // Pinned-page semantics, precisely: release listeners (below) fire
+  // first, giving caches a chance to drop *idle* pins they hold over the
+  // range. After that, if any page in the range is still pinned — an
+  // export, an in-flight DMA, or an actively referenced registration —
+  // Unmap returns FailedPrecondition and unmaps nothing (the operation
+  // is atomic: either every page goes or none does).
   Status Unmap(VirtAddr va, std::uint64_t len);
+
+  // Release listeners: invoked synchronously (no sim-time cost) with the
+  // affected [va, va+len) range at the start of Unmap and HeapFree,
+  // before any validation. The VMMC registration cache subscribes to
+  // invalidate cached pin-downs: entries with no active references are
+  // unpinned on the spot so the unmap can proceed; entries still in use
+  // keep their pins and Unmap fails as described above. HeapFree never
+  // unmaps (heap pages stay resident), but listeners must still treat
+  // the range as dead — the block can be handed out again by the next
+  // HeapAlloc.
+  using ReleaseListener = std::function<void(VirtAddr va, std::uint64_t len)>;
+  void AddReleaseListener(ReleaseListener fn);
 
   // Page-table walk for one address.
   Result<PhysAddr> Translate(VirtAddr va) const;
@@ -80,8 +100,11 @@ class AddressSpace {
   Status HeapFree(VirtAddr va);
 
  private:
+  void NotifyRelease(VirtAddr va, std::uint64_t len);
+
   PhysicalMemory& pm_;
   PageTable pt_;
+  std::vector<ReleaseListener> release_listeners_;
   VirtAddr next_map_ = 0x1000'0000;  // mmap region cursor
 
   // Heap bookkeeping: free blocks keyed by address, plus allocation sizes.

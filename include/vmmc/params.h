@@ -162,6 +162,12 @@ struct LanaiParams {
 
   // Cost of raising a host interrupt (TLB miss service, notifications).
   sim::Tick raise_interrupt = 500;
+
+  // Resolving an rtag-addressed chunk against the SRAM registered-region
+  // table (one hash probe + bounds check + frame-list index; cheaper than
+  // tlb_lookup, which walks a set-associative structure). Charged only on
+  // kFlagRtag packets, so the paper-path figures are unaffected.
+  sim::Tick rtag_lookup = 250;  // fitted
 };
 
 // ---------------------------------------------------------------------------
@@ -199,6 +205,46 @@ struct ReliabilityParams {
   // than full recv_process.
   sim::Tick ack_send = 300;
   sim::Tick ack_process = 300;
+};
+
+// ---------------------------------------------------------------------------
+// Registration (pin-down) cache — beyond the paper. The core idea of
+// "User Mode Memory Page Management" (PAPERS.md): keep user buffers
+// pinned across transfers so the steady state pays no pin/syscall cost.
+// ---------------------------------------------------------------------------
+struct RegCacheParams {
+  // Master switch. Off makes every RegisterMemory a cold pin and every
+  // UnregisterMemory an immediate unpin — the ablation baseline.
+  bool enabled = true;
+
+  // Total bytes the cache may keep pinned (idle entries included). LRU
+  // eviction unpins idle entries to get under budget; entries with live
+  // references are never evicted.
+  std::uint64_t budget_bytes = 8ull * 1024 * 1024;
+
+  // Cold-miss costs: one kernel crossing for the pin-down call, then a
+  // per-page walk+lock (mirrors the driver's TLB-fill service cost).
+  sim::Tick pin_page = 300;
+  // Cache hit: a hash lookup and refcount bump in the user library.
+  sim::Tick hit_lookup = 150;  // fitted
+};
+
+// ---------------------------------------------------------------------------
+// MPI-style point-to-point protocol selection (MPICH2-over-InfiniBand
+// playbook, PAPERS.md): eager copy-through below the crossover,
+// rendezvous zero-copy RDMA above it.
+// ---------------------------------------------------------------------------
+struct P2pParams {
+  // Protocol crossover in bytes: messages <= eager_max are copied through
+  // the preposted slot; larger ones post an RTS and the receiver pulls
+  // the payload with a zero-copy RdmaRead (reader-pull rendezvous).
+  // Tuned from bench/abl_rendezvous (EXPERIMENTS.md "Eager vs rendezvous
+  // crossover"): with the default host/NIC costs eager still wins at
+  // 384 B and loses at 512 B, so the default splits the bracket.
+  std::uint32_t eager_max = 448;
+
+  // Spin granularity while waiting on slot/fin words.
+  sim::Tick poll = 1'000;
 };
 
 // ---------------------------------------------------------------------------
@@ -242,6 +288,11 @@ struct VmmcParams {
 
   // Go-back-N retransmission layer (beyond the paper).
   ReliabilityParams reliability;
+
+  // Registration cache and point-to-point protocol selection (beyond the
+  // paper; ROADMAP item 3).
+  RegCacheParams regcache;
+  P2pParams p2p;
 };
 
 // ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@
 #include "vmmc/vmmc/daemon.h"
 #include "vmmc/vmmc/driver.h"
 #include "vmmc/vmmc/lcp.h"
+#include "vmmc/vmmc/reg_cache.h"
 
 namespace vmmc::vmmc_core {
 
@@ -51,6 +52,26 @@ struct ImportOptions {
   sim::Tick retry_interval = 500 * sim::kMicrosecond;  // between retries (ns tick)
 };
 
+// Where a one-sided operation lands on (or pulls from) a peer: the node,
+// the peer's registered-region tag, and a byte offset into that region.
+// The rtag comes out of the peer's RegisterMemory (MemRegion::rtag) or an
+// import (ImportedBuffer::rtag) and must be communicated out of band —
+// exactly the rkey exchange of later RDMA interconnects.
+struct RemoteTarget {
+  int node = -1;
+  std::uint32_t rtag = 0;
+  std::uint64_t offset = 0;
+};
+
+// Remote completion notification for RdmaWrite: after the data, a 4-byte
+// fin chunk carrying `fin_value` lands at (fin_rtag, fin_offset) on the
+// destination node; the receiver spins on that word. fin_rtag 0: none.
+struct RdmaOptions {
+  std::uint32_t fin_rtag = 0;
+  std::uint64_t fin_offset = 0;
+  std::uint32_t fin_value = 0;
+};
+
 class Endpoint {
  public:
   using NotificationHandler =
@@ -70,6 +91,7 @@ class Endpoint {
 
   host::UserProcess& process() { return *process_; }
   mem::AddressSpace& memory() { return process_->address_space(); }
+  host::Machine& machine() { return *machine_; }
   int node_id() const { return daemon_->node_id(); }
 
   // --- buffer management helpers (user-space malloc over the simulated
@@ -111,6 +133,38 @@ class Endpoint {
   // Blocks (spins) until the send completes; consumes the handle.
   sim::Task<Status> WaitSend(SendHandle handle);
 
+  // --- one-sided RDMA (registration cache + rtag addressing) ---
+  // Registers [va, va+len) through the pin-down cache. A warm hit costs a
+  // hash probe; a cold miss costs the pin syscall plus per-page work. The
+  // returned region's rtag (nonzero for kRecv/kBoth) is what remote peers
+  // target with RdmaWrite/RdmaRead.
+  sim::Task<Result<MemRegion>> RegisterMemory(mem::VirtAddr va,
+                                              std::uint64_t len,
+                                              RegIntent intent);
+  // Drops the reference; the cache keeps the pin-down warm for reuse.
+  sim::Task<Status> UnregisterMemory(const MemRegion& region);
+  RegCache& reg_cache() { return *reg_cache_; }
+
+  // One-sided write: src bytes land in the remote registered region with
+  // no receiver involvement. Async returns a SendHandle (local completion
+  // = last chunk in LANai SRAM, same as SendMsg); the sync variant waits
+  // for it. options selects the remote fin notification.
+  sim::Task<Result<SendHandle>> RdmaWriteAsync(mem::VirtAddr src,
+                                               RemoteTarget dst,
+                                               std::uint32_t len,
+                                               RdmaOptions options = {});
+  sim::Task<Status> RdmaWrite(mem::VirtAddr src, RemoteTarget dst,
+                              std::uint32_t len, RdmaOptions options = {});
+
+  // One-sided read: asks src.node to stream `len` bytes from its
+  // (src.rtag, src.offset) into our registered region `dst` at
+  // `dst_offset`, then spins on an internal fin word the remote fin chunk
+  // lands in. Returns PermissionDenied if the remote side rejected the
+  // source range. At most kMaxOutstandingReads reads may be in flight.
+  sim::Task<Status> RdmaRead(RemoteTarget src, std::uint32_t len,
+                             const MemRegion& dst, std::uint64_t dst_offset = 0);
+  static constexpr std::uint32_t kMaxOutstandingReads = 16;
+
   // --- notifications ---
   void SetNotificationHandler(ExportId id, NotificationHandler handler);
   std::uint64_t notifications_received() const { return notifications_received_; }
@@ -127,6 +181,10 @@ class Endpoint {
   sim::Process NotificationSignalHandler();
   sim::Process ReapSlot(SendHandle handle);
   Status ToStatus(SendStatus s) const;
+  // Posts a prepared one-sided request through the slot/PIO machinery.
+  sim::Task<Result<SendHandle>> PostOneSided(SendRequest req);
+  // Lazily allocates + registers the 64-byte fin-word array reads spin on.
+  sim::Task<Status> EnsureFinRegion();
 
   const Params& params_;
   host::Machine* machine_;
@@ -145,6 +203,17 @@ class Endpoint {
   std::vector<std::uint32_t> free_slots_;
   std::unique_ptr<sim::Semaphore> slot_tokens_;
   std::uint64_t next_generation_ = 1;
+
+  // Registration cache; shared_ptr so the address-space release listener
+  // (which cannot be removed) can hold a weak reference that outlives us.
+  std::shared_ptr<RegCache> reg_cache_;
+
+  // RdmaRead fin words: kMaxOutstandingReads 4-byte slots in registered
+  // memory; a read claims a slot, the remote fin chunk lands in it.
+  mem::VirtAddr fin_base_ = 0;
+  MemRegion fin_region_{};
+  std::vector<std::uint32_t> free_fin_slots_;
+  std::uint32_t next_read_op_ = 0;
 
   std::unordered_map<ExportId, NotificationHandler> handlers_;
   std::uint64_t notifications_received_ = 0;

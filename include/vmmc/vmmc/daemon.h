@@ -52,6 +52,9 @@ struct ImportedBuffer {
   ProxyAddr proxy_base = 0;  // first byte of the buffer in proxy space
   std::uint32_t len = 0;     // bytes
   int remote_node = -1;      // the exporting node
+  // The exporter's registered-region tag: lets the importer address this
+  // buffer with one-sided RdmaWrite/RdmaRead as well as SendMsg.
+  std::uint32_t rtag = 0;
 };
 
 class VmmcDaemon {
@@ -99,6 +102,7 @@ class VmmcDaemon {
     std::vector<mem::Pfn> frames;
     bool notify;
     ExportAcl acl;
+    std::uint32_t rtag = 0;  // LCP recv region published for this export
   };
 
   // Daemon-to-daemon protocol (binary, over UDP-like datagrams).
@@ -106,6 +110,7 @@ class VmmcDaemon {
     Status status = OkStatus();
     std::uint32_t len = 0;
     bool notify = false;
+    std::uint32_t rtag = 0;
     std::vector<mem::Pfn> frames;
   };
 

@@ -23,6 +23,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "vmmc/host/kernel.h"
@@ -53,6 +54,39 @@ enum class SendStatus : std::uint32_t {
   kBadAddress = 4,  // source virtual address unmapped
 };
 
+// One-sided RDMA-write addressing attached to a send request: the data
+// lands in an rtag-registered region on the destination instead of going
+// through the proxy/outgoing page table. Heap-allocated and null on the
+// ordinary two-sided path, which therefore stays allocation-free.
+struct DirectSend {
+  std::uint32_t dst_node = 0;
+  std::uint32_t rtag = 0;    // remote registered region
+  std::uint64_t offset = 0;  // byte offset into that region
+  // Remote completion notification: after the last data chunk, a 4-byte
+  // fin chunk carrying fin_value lands at (fin_rtag, fin_offset) on the
+  // same node. In-order go-back-N delivery guarantees it arrives after
+  // the data. fin_rtag 0: no fin.
+  std::uint32_t fin_rtag = 0;
+  std::uint64_t fin_offset = 0;
+  std::uint32_t fin_value = 0;
+};
+
+// One-sided RDMA-read: ask src_node to stream len bytes starting at
+// (src_rtag, src_offset) into our local (dst_rtag, dst_offset) region,
+// then drop fin_value at (fin_rtag, fin_offset) here so we can spin on
+// it. On a remote protection violation the server sets bit 31 of
+// fin_value instead of sending data.
+struct ReadRequest {
+  std::uint32_t src_node = 0;
+  std::uint32_t src_rtag = 0;
+  std::uint64_t src_offset = 0;
+  std::uint32_t dst_rtag = 0;
+  std::uint64_t dst_offset = 0;
+  std::uint32_t fin_rtag = 0;
+  std::uint64_t fin_offset = 0;
+  std::uint32_t fin_value = 0;
+};
+
 // One entry of a per-process send queue. The host writes it with PIO; the
 // LCP consumes it.
 struct SendRequest {
@@ -62,6 +96,8 @@ struct SendRequest {
   std::vector<std::uint8_t> inline_data;   // short sends
   bool notify = false;
   std::uint32_t slot = 0;                  // completion slot
+  std::unique_ptr<DirectSend> direct;      // one-sided write (null: proxy)
+  std::unique_ptr<ReadRequest> read;       // one-sided read (null otherwise)
 };
 
 // NIC-resident state of one process using VMMC (all accounted in SRAM).
@@ -99,6 +135,9 @@ class ProcState {
     // process while the go-back-N window to that node is closed (a short
     // send parks here too when it hits a closed window).
     std::uint32_t dst_node = 0;
+    // Direct send with a fin: the data chunks are out, the 4-byte fin
+    // chunk is still owed (kept as a stage so window-gating applies).
+    bool fin_stage = false;
   };
   std::optional<ActiveLongSend> active;
 
@@ -143,6 +182,28 @@ class VmmcLcp : public lanai::Lcp {
 
   IncomingPageTable& incoming() { return *incoming_; }
 
+  // --- registered receive regions (rkey model) ---
+  // rtag-addressed chunks resolve against this SRAM table instead of
+  // carrying physical addresses: dst_pa0 = (rtag << 32) | offset. One
+  // 32-bit tag replaces shipping the whole frame list to every sender.
+  // Frames must already be pinned by the registrar (export, registration
+  // cache); `first_page_offset` is the offset of region byte 0 within
+  // frames[0].
+  struct RecvRegion {
+    int pid = -1;
+    std::uint64_t first_page_offset = 0;
+    std::uint64_t len = 0;
+    std::vector<mem::Pfn> frames;
+    std::uint32_t sram_region = 0;
+  };
+  Result<std::uint32_t> CreateRecvRegion(int pid,
+                                         std::uint64_t first_page_offset,
+                                         std::uint64_t len,
+                                         std::vector<mem::Pfn> frames);
+  Status ReleaseRecvRegion(std::uint32_t rtag);
+  const RecvRegion* FindRecvRegion(std::uint32_t rtag) const;
+  std::size_t recv_region_count() const { return recv_regions_.size(); }
+
   // Host posts a send request (after charging the PIO writes) and rings
   // the doorbell.
   Status PostSend(ProcState& proc, SendRequest request);
@@ -180,6 +241,11 @@ class VmmcLcp : public lanai::Lcp {
     std::uint64_t out_of_order_chunks = 0;  // receiver: gap, discarded
     std::uint64_t drop_notices = 0;         // fabric misroute reports
     std::uint64_t window_stalls = 0;        // sends parked on a full window
+    // One-sided RDMA (rtag-addressed; 0 unless the RDMA API is used).
+    std::uint64_t rdma_writes = 0;          // direct-send requests picked up
+    std::uint64_t rdma_read_requests = 0;   // read requests sent by this node
+    std::uint64_t rdma_reads_served = 0;    // read requests served for peers
+    std::uint64_t rdma_fins_sent = 0;       // completion fin chunks emitted
   };
   const Stats& stats() const { return stats_; }
 
@@ -199,6 +265,27 @@ class VmmcLcp : public lanai::Lcp {
   sim::Process SendOneChunk(lanai::NicCard& nic, ProcState& proc);
   void FinishRequest(ProcState& proc, std::uint32_t slot, SendStatus status);
   sim::Process HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp);
+  // --- one-sided RDMA ---
+  // Emits a kRdmaRead request packet (window already checked by caller).
+  sim::Process SendReadRequest(lanai::NicCard& nic, ProcState& proc,
+                               SendRequest& req);
+  // Parses an incoming kRdmaRead and queues it for serving.
+  void HandleReadRequest(const ChunkHeader& h,
+                         std::span<const std::uint8_t> data);
+  // Serves one chunk (or the fin) of the front read request.
+  sim::Process ServeReadChunk(lanai::NicCard& nic);
+  // 4-byte rtag-addressed completion chunk.
+  sim::Process SendFinChunk(lanai::NicCard& nic, std::uint32_t dst_node,
+                            std::uint32_t rtag, std::uint64_t offset,
+                            std::uint32_t value);
+  // Resolves an rtag-addressed target to scatter addresses.
+  struct RtagTarget {
+    std::uint64_t pa0 = 0;
+    std::uint64_t pa1 = 0;
+    std::uint32_t seg0 = 0;
+  };
+  Result<RtagTarget> ResolveRtag(std::uint32_t rtag, std::uint64_t offset,
+                                 std::uint32_t chunk_len) const;
   // Translates a source page, interrupting the host on a TLB miss.
   sim::Task<Result<mem::Pfn>> TranslateSrc(lanai::NicCard& nic, ProcState& proc,
                                            mem::Vpn vpn);
@@ -242,6 +329,25 @@ class VmmcLcp : public lanai::Lcp {
   std::size_t rr_cursor_ = 0;  // round-robin over send queues
   std::unique_ptr<IncomingPageTable> incoming_;  // sized at Run (needs machine)
   std::deque<PendingNotification> notifications_;
+  std::unordered_map<std::uint32_t, RecvRegion> recv_regions_;
+  std::uint32_t next_rtag_ = 1;  // 0 means "no region" on the wire
+
+  // Read requests waiting to be served, FIFO. The main loop serves one
+  // chunk per iteration between receive handling and local send work.
+  struct ReadServe {
+    std::uint32_t requester = 0;
+    std::uint32_t src_rtag = 0;
+    std::uint64_t src_offset = 0;
+    std::uint32_t dst_rtag = 0;
+    std::uint64_t dst_offset = 0;
+    std::uint32_t len = 0;
+    std::uint32_t offset = 0;
+    bool fin_stage = false;
+    std::uint32_t fin_rtag = 0;
+    std::uint64_t fin_offset = 0;
+    std::uint32_t fin_value = 0;
+  };
+  std::deque<ReadServe> read_serves_;
   Stats stats_;
 
   // Pipelining machinery.
@@ -304,6 +410,8 @@ class VmmcLcp : public lanai::Lcp {
     obs::Counter* drop_notices = nullptr;
     obs::Counter* window_stalls = nullptr;
     obs::Gauge* retx_in_use = nullptr;
+    obs::Counter* rdma_writes = nullptr;
+    obs::Counter* rdma_reads_served = nullptr;
     int track = -1;  // "node<N>.lcp" span track
   };
   void BindObs();

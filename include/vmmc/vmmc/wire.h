@@ -25,6 +25,7 @@ enum class PacketType : std::uint8_t {
   kMapProbe = 2,   // network-mapping probe
   kMapReply = 3,   // network-mapping reply
   kAck = 4,        // cumulative acknowledgment (reliability layer)
+  kRdmaRead = 5,   // one-sided read request; remote LCP serves data chunks
 };
 
 struct ChunkHeader {
@@ -39,6 +40,13 @@ struct ChunkHeader {
   // for mapping traffic and the compat layers, which keep their own
   // delivery semantics over the same framing.
   static constexpr std::uint8_t kFlagReliable = 0x04;
+  // Receiver-side addressing (rkey model): dst_pa0 carries
+  // (rtag << 32) | byte_offset instead of a physical address, and the
+  // receiving LCP resolves it against its registered-region table. This
+  // is what lets a sender target memory it never exchanged frame lists
+  // for — the registration travels as one 32-bit tag. dst_pa1 is unused
+  // (the receiver computes its own page-crossing scatter split).
+  static constexpr std::uint8_t kFlagRtag = 0x08;
 
   std::uint16_t src_node = 0;
   std::uint32_t msg_len = 0;    // total message length in bytes
@@ -57,6 +65,19 @@ struct ChunkHeader {
   bool last_chunk() const { return flags & kFlagLastChunk; }
   bool notify() const { return flags & kFlagNotify; }
   bool reliable() const { return flags & kFlagReliable; }
+  bool rtag_addressed() const { return flags & kFlagRtag; }
+
+  // Accessors for the kFlagRtag encoding of dst_pa0 (and, for kRdmaRead
+  // requests, the source encoding in dst_pa1).
+  static std::uint64_t PackRtag(std::uint32_t rtag, std::uint64_t offset) {
+    return (std::uint64_t{rtag} << 32) | (offset & 0xffff'ffffull);
+  }
+  static std::uint32_t RtagOf(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed >> 32);
+  }
+  static std::uint64_t RtagOffsetOf(std::uint64_t packed) {
+    return packed & 0xffff'ffffull;
+  }
 
   // Scatter split: how many of chunk_len bytes go to dst_pa0. The first
   // segment runs to the end of dst_pa0's page if a second address is set.

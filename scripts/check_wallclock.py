@@ -36,6 +36,7 @@ GATED = [
     "BM_MailboxHandoff",
     "BM_MacroAllreduce64",
     "BM_MacroFaultSweepReplay",
+    "BM_MacroRendezvousStream",
     "BM_MacroAllreduce64Par/1",
     "BM_MacroAllreduce64Par/8",
     # Parity row only: multi-worker runs of the tiny 2-node fault-sweep

@@ -5,23 +5,32 @@
 
 namespace vmmc::coll {
 
-using vmmc_core::ExportOptions;
-using vmmc_core::ImportOptions;
-
 namespace {
-// Data slot layout: [payload kMaxMessage][u32 len][u32 seq]; the trailer is
-// sent as a separate (in-order) message so "seq changed" commits a
-// complete payload.
-constexpr std::uint32_t kTrailerOff = Communicator::kMaxMessage;
-constexpr std::uint32_t kSlotBytes = Communicator::kMaxMessage + 8;
-}  // namespace
 
-std::uint32_t Communicator::ReadWord(mem::VirtAddr va) const {
-  std::uint8_t b[4];
-  (void)ep_->ReadBuffer(va, b);
-  return std::uint32_t{b[0]} | (std::uint32_t{b[1]} << 8) |
-         (std::uint32_t{b[2]} << 16) | (std::uint32_t{b[3]} << 24);
+std::vector<std::uint8_t> Pack(std::span<const std::int64_t> v) {
+  std::vector<std::uint8_t> bytes(v.size() * 8);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const auto x = static_cast<std::uint64_t>(v[i]);
+    for (int b = 0; b < 8; ++b) {
+      bytes[i * 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(x >> (8 * b));
+    }
+  }
+  return bytes;
 }
+
+void Unpack(std::span<const std::uint8_t> bytes, std::vector<std::int64_t>& v) {
+  v.resize(bytes.size() / 8);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t x = 0;
+    for (int b = 7; b >= 0; --b) {
+      x = (x << 8) | bytes[i * 8 + static_cast<std::size_t>(b)];
+    }
+    v[i] = static_cast<std::int64_t>(x);
+  }
+}
+
+}  // namespace
 
 sim::Task<Result<std::unique_ptr<Communicator>>> Communicator::Create(
     vmmc_core::Cluster& cluster, int rank, int size, std::string tag,
@@ -50,7 +59,7 @@ sim::Task<Status> Communicator::EnsureLink(int peer) {
   if (peer < 0 || peer >= size_ || peer == rank_) {
     co_return InvalidArgument("no link to that rank");
   }
-  if (links_.find(peer) != links_.end()) co_return OkStatus();
+  if (channels_.find(peer) != channels_.end()) co_return OkStatus();
   if (!options_.lazy_links) co_return InvalidArgument("no link to that rank");
   co_return co_await SetupLink(peer);
 }
@@ -78,48 +87,10 @@ sim::Task<Status> Communicator::EnsureLinks(int a, int b) {
 }
 
 sim::Task<Status> Communicator::SetupLink(int peer) {
-  Link link;
-  // Export our receive slot and ack word for this peer.
-  auto slot = ep_->AllocBuffer(kSlotBytes);
-  if (!slot.ok()) co_return slot.status();
-  link.recv_slot = slot.value();
-  auto ack = ep_->AllocBuffer(64);
-  if (!ack.ok()) co_return ack.status();
-  link.ack_word = ack.value();
-  auto ack_staging = ep_->AllocBuffer(64);
-  if (!ack_staging.ok()) co_return ack_staging.status();
-  link.ack_out = ack_staging.value();
-  auto staging = ep_->AllocBuffer(kSlotBytes);
-  if (!staging.ok()) co_return staging.status();
-  link.send_staging = staging.value();
-
-  const std::string me = std::to_string(rank_);
-  const std::string them = std::to_string(peer);
-  {
-    ExportOptions opts;
-    opts.name = tag_ + "-d-" + me + "-" + them;
-    auto id = co_await ep_->ExportBuffer(link.recv_slot, kSlotBytes, std::move(opts));
-    if (!id.ok()) co_return id.status();
-  }
-  {
-    ExportOptions opts;
-    opts.name = tag_ + "-a-" + me + "-" + them;
-    auto id = co_await ep_->ExportBuffer(link.ack_word, 64, std::move(opts));
-    if (!id.ok()) co_return id.status();
-  }
-
-  // Import the peer's counterparts (they may not exist yet: wait).
-  ImportOptions wait;
-  wait.wait = true;
-  wait.max_attempts = 2000;
-  auto data = co_await ep_->ImportBuffer(peer, tag_ + "-d-" + them + "-" + me, wait);
-  if (!data.ok()) co_return data.status();
-  link.send_slot = data.value().proxy_base;
-  auto peer_ack = co_await ep_->ImportBuffer(peer, tag_ + "-a-" + them + "-" + me, wait);
-  if (!peer_ack.ok()) co_return peer_ack.status();
-  link.peer_ack = peer_ack.value().proxy_base;
-
-  links_.emplace(peer, link);
+  auto ch = co_await vmmc_core::P2pChannel::Create(
+      *ep_, peer, tag_, cluster_.params().vmmc.p2p);
+  if (!ch.ok()) co_return ch.status();
+  channels_.emplace(peer, std::move(ch).value());
   co_return OkStatus();
 }
 
@@ -127,65 +98,28 @@ sim::Task<Status> Communicator::SendTo(int peer, std::span<const std::uint8_t> d
   if (data.size() > kMaxMessage) co_return InvalidArgument("message too large");
   Status ready = co_await EnsureLink(peer);
   if (!ready.ok()) co_return ready;
-  Link& link = links_.find(peer)->second;
-  sim::Simulator& sim = cluster_.node_sim(rank_);
-
-  // Credit: the previous message on this link must have been consumed.
-  while (ReadWord(link.ack_word) != link.next_send_seq - 1) {
-    co_await sim.Delay(1500);
-  }
-
-  if (!data.empty()) {
-    Status w = ep_->WriteBuffer(link.send_staging, data);
-    if (!w.ok()) co_return w;
-    Status s = co_await ep_->SendMsg(link.send_staging, link.send_slot,
-                                     static_cast<std::uint32_t>(data.size()));
-    if (!s.ok()) co_return s;
-  }
-  // Trailer: [len][seq], written after the payload (in-order delivery).
-  std::uint8_t trailer[8];
-  const auto len = static_cast<std::uint32_t>(data.size());
-  for (int i = 0; i < 4; ++i) trailer[i] = static_cast<std::uint8_t>(len >> (8 * i));
-  for (int i = 0; i < 4; ++i) {
-    trailer[4 + i] = static_cast<std::uint8_t>(link.next_send_seq >> (8 * i));
-  }
-  Status w = ep_->WriteBuffer(link.send_staging + kTrailerOff, trailer);
-  if (!w.ok()) co_return w;
-  Status s = co_await ep_->SendMsg(link.send_staging + kTrailerOff,
-                                   link.send_slot + kTrailerOff, 8);
-  if (!s.ok()) co_return s;
-  ++link.next_send_seq;
-  co_return OkStatus();
+  co_return co_await channels_.find(peer)->second->Send(data);
 }
 
 sim::Task<Result<std::vector<std::uint8_t>>> Communicator::RecvFrom(int peer) {
   using Out = Result<std::vector<std::uint8_t>>;
   Status ready = co_await EnsureLink(peer);
   if (!ready.ok()) co_return Out(ready);
-  Link& link = links_.find(peer)->second;
-  sim::Simulator& sim = cluster_.node_sim(rank_);
+  co_return co_await channels_.find(peer)->second->Recv();
+}
 
-  while (ReadWord(link.recv_slot + kTrailerOff + 4) != link.next_recv_seq) {
-    co_await sim.Delay(1500);
+vmmc_core::P2pChannel::Stats Communicator::p2p_stats() const {
+  vmmc_core::P2pChannel::Stats total;
+  for (const auto& [peer, ch] : channels_) {
+    const auto& s = ch->stats();
+    total.eager_sends += s.eager_sends;
+    total.rendezvous_sends += s.rendezvous_sends;
+    total.eager_recvs += s.eager_recvs;
+    total.rendezvous_recvs += s.rendezvous_recvs;
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
   }
-  const std::uint32_t len = ReadWord(link.recv_slot + kTrailerOff);
-  if (len > kMaxMessage) co_return Out(InternalError("corrupt trailer"));
-  std::vector<std::uint8_t> out(len);
-  if (len > 0) {
-    Status r = ep_->ReadBuffer(link.recv_slot, out);
-    if (!r.ok()) co_return Out(r);
-  }
-  // Ack consumption so the sender may reuse the slot.
-  std::uint8_t ack[4];
-  for (int i = 0; i < 4; ++i) {
-    ack[i] = static_cast<std::uint8_t>(link.next_recv_seq >> (8 * i));
-  }
-  Status w = ep_->WriteBuffer(link.ack_out, ack);
-  if (!w.ok()) co_return Out(w);
-  Status s = co_await ep_->SendMsg(link.ack_out, link.peer_ack, 4);
-  if (!s.ok()) co_return Out(s);
-  ++link.next_recv_seq;
-  co_return std::move(out);
+  return total;
 }
 
 sim::Task<Status> Communicator::Barrier() {
@@ -303,60 +237,95 @@ sim::Task<Status> Communicator::Gather(int root, std::span<const std::uint8_t> m
   co_return OkStatus();
 }
 
-sim::Task<Status> Communicator::AllReduceSum(std::vector<std::int64_t>& values) {
-  auto pack = [](std::span<const std::int64_t> v) {
-    std::vector<std::uint8_t> bytes(v.size() * 8);
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      const auto x = static_cast<std::uint64_t>(v[i]);
-      for (int b = 0; b < 8; ++b) {
-        bytes[i * 8 + static_cast<std::size_t>(b)] =
-            static_cast<std::uint8_t>(x >> (8 * b));
-      }
-    }
-    return bytes;
-  };
-  auto unpack = [](std::span<const std::uint8_t> bytes, std::vector<std::int64_t>& v) {
-    v.resize(bytes.size() / 8);
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      std::uint64_t x = 0;
-      for (int b = 7; b >= 0; --b) {
-        x = (x << 8) | bytes[i * 8 + static_cast<std::size_t>(b)];
-      }
-      v[i] = static_cast<std::int64_t>(x);
-    }
-  };
-
-  const std::size_t n = values.size();
-  const bool ring_eligible =
-      size_ > 1 && n % static_cast<std::size_t>(size_) == 0 &&
-      (n / static_cast<std::size_t>(size_)) * 8 <= kMaxMessage;
-
-  if (!ring_eligible) {
-    // Fallback: gather at rank 0, reduce, broadcast.
-    std::vector<std::uint8_t> mine = pack(values);
-    if (mine.size() > kMaxMessage) co_return InvalidArgument("vector too large");
-    std::vector<std::uint8_t> all;
-    Status g = co_await Gather(0, mine, rank_ == 0 ? &all : nullptr);
-    if (!g.ok()) co_return g;
-    std::vector<std::uint8_t> reduced;
-    if (rank_ == 0) {
-      std::vector<std::int64_t> sum(n, 0), piece;
-      for (int r = 0; r < size_; ++r) {
-        unpack(std::span(all).subspan(static_cast<std::size_t>(r) * n * 8, n * 8),
-               piece);
-        for (std::size_t i = 0; i < n; ++i) sum[i] += piece[i];
-      }
-      reduced = pack(sum);
-    }
-    Status b = co_await Broadcast(0, reduced);
-    if (!b.ok()) co_return b;
-    unpack(reduced, values);
-    ++operations_;
-    co_return OkStatus();
+Communicator::AllReduceAlgo Communicator::SelectAllReduce(std::size_t n) const {
+  if (size_ == 1) return AllReduceAlgo::kSingle;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * 8;
+  // One eager message or less: latency-bound, log-round algorithms.
+  if (bytes <= cluster_.params().vmmc.p2p.eager_max) {
+    const bool pow2 = (size_ & (size_ - 1)) == 0;
+    return pow2 ? AllReduceAlgo::kRecursiveDoubling : AllReduceAlgo::kBinomialTree;
   }
+  // Bandwidth-bound: ring moves 2(N-1)/N of the vector per rank, but
+  // needs equal chunks that fit a message.
+  const bool ring_eligible =
+      n % static_cast<std::size_t>(size_) == 0 &&
+      (n / static_cast<std::size_t>(size_)) * 8 <= kMaxMessage;
+  return ring_eligible ? AllReduceAlgo::kRing : AllReduceAlgo::kGatherBroadcast;
+}
 
+sim::Task<Status> Communicator::AllReduceSum(std::vector<std::int64_t>& values) {
+  switch (SelectAllReduce(values.size())) {
+    case AllReduceAlgo::kSingle:
+      ++operations_;
+      co_return OkStatus();
+    case AllReduceAlgo::kRecursiveDoubling:
+      co_return co_await AllReduceRecursiveDoubling(values);
+    case AllReduceAlgo::kBinomialTree:
+      co_return co_await AllReduceBinomial(values);
+    case AllReduceAlgo::kRing:
+      co_return co_await AllReduceRing(values);
+    case AllReduceAlgo::kGatherBroadcast:
+      co_return co_await AllReduceGatherBroadcast(values);
+  }
+  co_return InternalError("unreachable");
+}
+
+sim::Task<Status> Communicator::AllReduceRecursiveDoubling(
+    std::vector<std::int64_t>& values) {
+  // log2(N) rounds; in round r, partners rank^2^r exchange full vectors
+  // and both add. Partners pair up (no cycle), so lazy channel setup is
+  // safe without EnsureLinks.
+  std::vector<std::int64_t> incoming;
+  for (int mask = 1; mask < size_; mask <<= 1) {
+    const int partner = rank_ ^ mask;
+    Status s = co_await SendTo(partner, Pack(values));
+    if (!s.ok()) co_return s;
+    auto r = co_await RecvFrom(partner);
+    if (!r.ok()) co_return r.status();
+    Unpack(r.value(), incoming);
+    if (incoming.size() != values.size()) {
+      co_return InternalError("allreduce exchange size mismatch");
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) values[i] += incoming[i];
+  }
+  ++operations_;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Communicator::AllReduceBinomial(
+    std::vector<std::int64_t>& values) {
+  // Binomial-tree reduction to rank 0 (works for any world size), then a
+  // binomial broadcast of the result.
+  std::vector<std::int64_t> incoming;
+  for (int mask = 1; mask < size_; mask <<= 1) {
+    if (rank_ & mask) {
+      Status s = co_await SendTo(rank_ - mask, Pack(values));
+      if (!s.ok()) co_return s;
+      break;
+    }
+    if (rank_ + mask < size_) {
+      auto r = co_await RecvFrom(rank_ + mask);
+      if (!r.ok()) co_return r.status();
+      Unpack(r.value(), incoming);
+      if (incoming.size() != values.size()) {
+        co_return InternalError("allreduce reduce size mismatch");
+      }
+      for (std::size_t i = 0; i < values.size(); ++i) values[i] += incoming[i];
+    }
+  }
+  std::vector<std::uint8_t> packed;
+  if (rank_ == 0) packed = Pack(values);
+  Status b = co_await Broadcast(0, packed);
+  if (!b.ok()) co_return b;
+  Unpack(packed, values);
+  ++operations_;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Communicator::AllReduceRing(std::vector<std::int64_t>& values) {
   // Ring: N-1 reduce-scatter steps, N-1 all-gather steps; send to the
   // left neighbour, receive from the right.
+  const std::size_t n = values.size();
   const std::size_t chunk = n / static_cast<std::size_t>(size_);
   const int left = (rank_ + size_ - 1) % size_;
   const int right = (rank_ + 1) % size_;
@@ -371,11 +340,11 @@ sim::Task<Status> Communicator::AllReduceSum(std::vector<std::int64_t>& values) 
     const std::size_t recv_idx =
         static_cast<std::size_t>((rank_ + step + 1) % size_) * chunk;
     Status s = co_await SendTo(
-        left, pack(std::span(values).subspan(send_idx, chunk)));
+        left, Pack(std::span(values).subspan(send_idx, chunk)));
     if (!s.ok()) co_return s;
     auto r = co_await RecvFrom(right);
     if (!r.ok()) co_return r.status();
-    unpack(r.value(), incoming);
+    Unpack(r.value(), incoming);
     for (std::size_t i = 0; i < chunk; ++i) values[recv_idx + i] += incoming[i];
   }
   for (int step = 0; step < size_ - 1; ++step) {
@@ -384,13 +353,38 @@ sim::Task<Status> Communicator::AllReduceSum(std::vector<std::int64_t>& values) 
     const std::size_t recv_idx =
         static_cast<std::size_t>((rank_ + step) % size_) * chunk;
     Status s = co_await SendTo(
-        left, pack(std::span(values).subspan(send_idx, chunk)));
+        left, Pack(std::span(values).subspan(send_idx, chunk)));
     if (!s.ok()) co_return s;
     auto r = co_await RecvFrom(right);
     if (!r.ok()) co_return r.status();
-    unpack(r.value(), incoming);
+    Unpack(r.value(), incoming);
     for (std::size_t i = 0; i < chunk; ++i) values[recv_idx + i] = incoming[i];
   }
+  ++operations_;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Communicator::AllReduceGatherBroadcast(
+    std::vector<std::int64_t>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::uint8_t> mine = Pack(values);
+  if (mine.size() > kMaxMessage) co_return InvalidArgument("vector too large");
+  std::vector<std::uint8_t> all;
+  Status g = co_await Gather(0, mine, rank_ == 0 ? &all : nullptr);
+  if (!g.ok()) co_return g;
+  std::vector<std::uint8_t> reduced;
+  if (rank_ == 0) {
+    std::vector<std::int64_t> sum(n, 0), piece;
+    for (int r = 0; r < size_; ++r) {
+      Unpack(std::span(all).subspan(static_cast<std::size_t>(r) * n * 8, n * 8),
+             piece);
+      for (std::size_t i = 0; i < n; ++i) sum[i] += piece[i];
+    }
+    reduced = Pack(sum);
+  }
+  Status b = co_await Broadcast(0, reduced);
+  if (!b.ok()) co_return b;
+  Unpack(reduced, values);
   ++operations_;
   co_return OkStatus();
 }

@@ -67,8 +67,20 @@ Result<VirtAddr> AddressSpace::MapAnonymous(std::uint64_t len, bool writable) {
   return base;
 }
 
+void AddressSpace::AddReleaseListener(ReleaseListener fn) {
+  release_listeners_.push_back(std::move(fn));
+}
+
+void AddressSpace::NotifyRelease(VirtAddr va, std::uint64_t len) {
+  for (const auto& fn : release_listeners_) fn(va, len);
+}
+
 Status AddressSpace::Unmap(VirtAddr va, std::uint64_t len) {
   if (PageOffset(va) != 0) return InvalidArgument("unmap base not page aligned");
+  // Let registration caches drop idle pins over the range before the
+  // pinned-page validation below; pins still held after this are live
+  // (exports, active registrations) and veto the unmap.
+  NotifyRelease(va, len);
   const std::uint64_t pages = RoundUpToPage(len) / kPageSize;
   // Validate first so the operation is atomic.
   for (std::uint64_t i = 0; i < pages; ++i) {
@@ -219,6 +231,9 @@ Status AddressSpace::HeapFree(VirtAddr va) {
   if (it == heap_allocs_.end()) return InvalidArgument("free of unallocated block");
   VirtAddr addr = va;
   std::uint64_t size = it->second;
+  // Heap pages stay mapped, but the block may be reallocated immediately:
+  // any cached registration over it is stale from here on.
+  NotifyRelease(va, size);
   heap_allocs_.erase(it);
 
   // Coalesce with neighbours.

@@ -49,6 +49,18 @@ Result<std::unique_ptr<Endpoint>> Endpoint::Open(
   ep->send_posts_m_ = &m.GetCounter(node + ".host.send_posts");
   ep->pio_post_ns_m_ = &m.GetCounter(node + ".host.pio_post_ns");
 
+  // Registration cache for one-sided RDMA. The address-space release
+  // listener cannot be unsubscribed, so it holds a weak reference that
+  // goes inert once the endpoint (and with it the cache) is destroyed.
+  ep->reg_cache_ = std::make_shared<RegCache>(
+      params, process, lcp, *ep->state_, machine.kernel().simulator(),
+      daemon.node_id());
+  std::weak_ptr<RegCache> weak_cache = ep->reg_cache_;
+  process.address_space().AddReleaseListener(
+      [weak_cache](mem::VirtAddr va, std::uint64_t len) {
+        if (auto cache = weak_cache.lock()) cache->InvalidateRange(va, len);
+      });
+
   // Notification path: driver -> signal -> this handler -> user handlers.
   Endpoint* raw = ep.get();
   process.SetSignalHandler(host::kSigVmmcNotify, [raw](int) -> sim::Process {
@@ -59,6 +71,12 @@ Result<std::unique_ptr<Endpoint>> Endpoint::Open(
 }
 
 Endpoint::~Endpoint() {
+  if (fin_region_.cache_id != 0 && reg_cache_ != nullptr) {
+    (void)reg_cache_->Release(fin_region_.cache_id);
+  }
+  // The cache unpins and tears down NIC state through the LCP, so it must
+  // go before the process is unregistered there.
+  reg_cache_.reset();
   if (state_ != nullptr) (void)lcp_->UnregisterProcess(process_->pid());
 }
 
@@ -262,6 +280,167 @@ sim::Task<Status> Endpoint::SendMsg(mem::VirtAddr src, ProxyAddr dst,
     co_return OkStatus();
   }
   co_return co_await WaitSend(handle.value());
+}
+
+// ---------------------------------------------------------------------------
+// One-sided RDMA
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<MemRegion>> Endpoint::RegisterMemory(mem::VirtAddr va,
+                                                      std::uint64_t len,
+                                                      RegIntent intent) {
+  auto acq = reg_cache_->Acquire(va, len, intent);
+  if (!acq.ok()) co_return acq.status();
+  if (acq.value().cost > 0) {
+    co_await machine_->kernel().simulator().Delay(acq.value().cost);
+  }
+  co_return acq.value().region;
+}
+
+sim::Task<Status> Endpoint::UnregisterMemory(const MemRegion& region) {
+  auto cost = reg_cache_->Release(region.cache_id);
+  if (!cost.ok()) co_return cost.status();
+  if (cost.value() > 0) {
+    co_await machine_->kernel().simulator().Delay(cost.value());
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Result<SendHandle>> Endpoint::PostOneSided(SendRequest req) {
+  co_await slot_tokens_->Acquire();
+  co_await state_->queue_slots().Acquire();
+  assert(!free_slots_.empty());
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  slots_[slot].in_use = true;
+  slots_[slot].generation = next_generation_++;
+  req.slot = slot;
+  state_->completion_events[slot]->Reset();
+  (void)process_->address_space().WriteU32(
+      state_->completion_base + slot * 4,
+      static_cast<std::uint32_t>(SendStatus::kPending));
+
+  // A one-sided descriptor is the 6-word long-send format plus the
+  // extension words: destination node, rtag, 64-bit offset, fin triple.
+  const int words = 12;
+  co_await machine_->pci().PioWrite(words);
+  if (send_posts_m_ != nullptr) {
+    send_posts_m_->Inc();
+    pio_post_ns_m_->Inc(
+        static_cast<std::uint64_t>(machine_->pci().PioWriteCost(words)));
+  }
+
+  Status posted = lcp_->PostSend(*state_, std::move(req));
+  if (!posted.ok()) {
+    slots_[slot].in_use = false;
+    free_slots_.push_back(slot);
+    slot_tokens_->Release();
+    state_->queue_slots().Release();
+    co_return Result<SendHandle>(posted);
+  }
+  co_return SendHandle{slot, slots_[slot].generation};
+}
+
+sim::Task<Result<SendHandle>> Endpoint::RdmaWriteAsync(mem::VirtAddr src,
+                                                       RemoteTarget dst,
+                                                       std::uint32_t len,
+                                                       RdmaOptions options) {
+  sim::Simulator& sim = machine_->kernel().simulator();
+  co_await sim.Delay(params_.host.lib_send_overhead);
+  if (len == 0 || len > params_.vmmc.max_send_bytes) {
+    co_return Result<SendHandle>(InvalidArgument("length out of range"));
+  }
+  if (dst.node < 0 || dst.rtag == 0) {
+    co_return Result<SendHandle>(InvalidArgument("invalid remote target"));
+  }
+  SendRequest req;
+  req.len = len;
+  req.src_va = src;
+  req.direct = std::make_unique<DirectSend>(
+      DirectSend{static_cast<std::uint32_t>(dst.node), dst.rtag, dst.offset,
+                 options.fin_rtag, options.fin_offset, options.fin_value});
+  co_return co_await PostOneSided(std::move(req));
+}
+
+sim::Task<Status> Endpoint::RdmaWrite(mem::VirtAddr src, RemoteTarget dst,
+                                      std::uint32_t len, RdmaOptions options) {
+  auto handle = co_await RdmaWriteAsync(src, dst, len, options);
+  if (!handle.ok()) co_return handle.status();
+  co_return co_await WaitSend(handle.value());
+}
+
+sim::Task<Status> Endpoint::EnsureFinRegion() {
+  if (fin_base_ != 0) co_return OkStatus();
+  auto base = memory().HeapAlloc(kMaxOutstandingReads * 4, 64);
+  if (!base.ok()) co_return base.status();
+  auto region = co_await RegisterMemory(base.value(), kMaxOutstandingReads * 4,
+                                        RegIntent::kRecv);
+  if (!region.ok()) {
+    (void)memory().HeapFree(base.value());
+    co_return region.status();
+  }
+  fin_base_ = base.value();
+  fin_region_ = region.value();
+  for (std::uint32_t i = 0; i < kMaxOutstandingReads; ++i) {
+    free_fin_slots_.push_back(i);
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> Endpoint::RdmaRead(RemoteTarget src, std::uint32_t len,
+                                     const MemRegion& dst,
+                                     std::uint64_t dst_offset) {
+  sim::Simulator& sim = machine_->kernel().simulator();
+  co_await sim.Delay(params_.host.lib_send_overhead);
+  if (len == 0 || len > params_.vmmc.max_send_bytes) {
+    co_return InvalidArgument("length out of range");
+  }
+  if (src.node < 0 || src.rtag == 0) {
+    co_return InvalidArgument("invalid remote source");
+  }
+  if (dst.rtag == 0) {
+    co_return InvalidArgument("destination region is not receive-registered");
+  }
+  if (dst_offset + len > dst.len) {
+    co_return OutOfRange("read overruns the destination region");
+  }
+  if (Status s = co_await EnsureFinRegion(); !s.ok()) co_return s;
+  if (free_fin_slots_.empty()) {
+    co_return ResourceExhausted("too many outstanding reads");
+  }
+  const std::uint32_t fin_slot = free_fin_slots_.back();
+  free_fin_slots_.pop_back();
+  // Nonzero op id with bit 31 clear (the server sets bit 31 on failure).
+  const std::uint32_t op = (next_read_op_++ & 0x3fff'ffffu) + 1;
+  (void)memory().WriteU32(fin_base_ + fin_slot * 4, 0);
+
+  SendRequest req;
+  req.len = len;
+  req.read = std::make_unique<ReadRequest>(
+      ReadRequest{static_cast<std::uint32_t>(src.node), src.rtag, src.offset,
+                  dst.rtag, dst_offset, fin_region_.rtag, fin_slot * 4, op});
+  auto handle = co_await PostOneSided(std::move(req));
+  Status sent = handle.status();
+  if (handle.ok()) sent = co_await WaitSend(handle.value());
+  if (!sent.ok()) {
+    free_fin_slots_.push_back(fin_slot);
+    co_return sent;
+  }
+
+  // Spin until the server's fin chunk lands in our fin word.
+  for (;;) {
+    auto word = memory().ReadU32(fin_base_ + fin_slot * 4);
+    if (word.ok()) {
+      if (word.value() == op) break;
+      if (word.value() == (op | 0x8000'0000u)) {
+        free_fin_slots_.push_back(fin_slot);
+        co_return PermissionDenied("remote rejected the read source range");
+      }
+    }
+    co_await sim.Delay(params_.vmmc.p2p.poll);
+  }
+  free_fin_slots_.push_back(fin_slot);
+  co_return OkStatus();
 }
 
 // ---------------------------------------------------------------------------

@@ -93,6 +93,7 @@ sim::Process VmmcDaemon::ServerLoop() {
         const std::uint8_t code = r.U8();
         reply.len = r.U32();
         reply.notify = r.U8() != 0;
+        reply.rtag = r.U32();
         const std::uint32_t nframes = r.U32();
         for (std::uint32_t i = 0; r.ok() && i < nframes; ++i) {
           reply.frames.push_back(r.U64());
@@ -132,6 +133,7 @@ VmmcDaemon::ImportReply VmmcDaemon::LookupForImport(const std::string& name,
   }
   reply.len = rec.len;
   reply.notify = rec.notify;
+  reply.rtag = rec.rtag;
   reply.frames = rec.frames;
   ++imports_matched_;
   return reply;
@@ -155,6 +157,7 @@ sim::Process VmmcDaemon::HandleRequest(ethernet::Datagram dgram) {
   out.push_back(static_cast<std::uint8_t>(reply.status.code()));
   PutU32(out, reply.len);
   out.push_back(reply.notify ? 1 : 0);
+  PutU32(out, reply.rtag);
   PutU32(out, static_cast<std::uint32_t>(reply.frames.size()));
   for (mem::Pfn f : reply.frames) PutU64(out, f);
   co_await eth_.SendTo(dgram.src_node, dgram.src_port, kPort, std::move(out));
@@ -206,6 +209,16 @@ sim::Task<Result<ExportId>> VmmcDaemon::Export(host::UserProcess& proc,
     rec.frames.push_back(pfn);
   }
 
+  // Publish the export as a registered receive region so one-sided
+  // operations can target it by rtag as well.
+  auto rtag = lcp_->CreateRecvRegion(rec.pid, 0, rec.len, rec.frames);
+  if (!rtag.ok()) {
+    for (mem::Pfn done : rec.frames) (void)lcp_->incoming().Disable(done);
+    (void)kernel_.UnpinUserPages(proc, va, len);
+    co_return Result<ExportId>(rtag.status());
+  }
+  rec.rtag = rtag.value();
+
   ++exports_served_;
   const ExportId id = rec.id;
   std::string key = rec.name;
@@ -220,6 +233,7 @@ sim::Task<Status> VmmcDaemon::Unexport(host::UserProcess& proc, ExportId id) {
     if (it->second.pid != proc.pid()) {
       co_return PermissionDenied("export owned by another process");
     }
+    if (it->second.rtag != 0) (void)lcp_->ReleaseRecvRegion(it->second.rtag);
     for (mem::Pfn pfn : it->second.frames) (void)lcp_->incoming().Disable(pfn);
     (void)kernel_.UnpinUserPages(proc, it->second.va, it->second.len);
     exports_.erase(it);
@@ -280,6 +294,7 @@ sim::Task<Result<ImportedBuffer>> VmmcDaemon::Import(ProcState& state,
   out.proxy_base = MakeProxyAddr(base.value(), 0);
   out.len = reply.len;
   out.remote_node = remote_node;
+  out.rtag = reply.rtag;
   co_return out;
 }
 

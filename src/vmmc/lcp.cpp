@@ -54,6 +54,8 @@ VmmcLcp::VmmcLcp(const Params& params, RouteTable routes)
   obs_.drop_notices = &g_unbound_counter;
   obs_.window_stalls = &g_unbound_counter;
   obs_.retx_in_use = &g_unbound_gauge;
+  obs_.rdma_writes = &g_unbound_counter;
+  obs_.rdma_reads_served = &g_unbound_counter;
 }
 
 void VmmcLcp::BindObs() {
@@ -84,6 +86,8 @@ void VmmcLcp::BindObs() {
   obs_.drop_notices = &m.GetCounter(node + ".lcp.drop_notices");
   obs_.window_stalls = &m.GetCounter(node + ".lcp.window_stalls");
   obs_.retx_in_use = &m.GetGauge(node + ".lcp.retx_in_use");
+  obs_.rdma_writes = &m.GetCounter(node + ".lcp.rdma_writes");
+  obs_.rdma_reads_served = &m.GetCounter(node + ".lcp.rdma_reads_served");
   obs_.track = nic_->simulator().tracer().RegisterTrack(node + ".lcp");
 }
 
@@ -127,6 +131,16 @@ Result<ProcState*> VmmcLcp::RegisterProcess(host::UserProcess& process) {
 }
 
 Status VmmcLcp::UnregisterProcess(int pid) {
+  // Drop any registered regions the process still owns (a process that
+  // dies mid-RDMA must not leave dangling rtags behind).
+  for (auto it = recv_regions_.begin(); it != recv_regions_.end();) {
+    if (it->second.pid == pid) {
+      (void)nic_->sram().Free(it->second.sram_region);
+      it = recv_regions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   for (auto it = procs_.begin(); it != procs_.end(); ++it) {
     if ((*it)->pid() == pid) {
       for (std::uint32_t off : (*it)->sram_regions) (void)nic_->sram().Free(off);
@@ -191,6 +205,77 @@ std::optional<PendingNotification> VmmcLcp::PopNotification() {
 }
 
 // ---------------------------------------------------------------------------
+// Registered receive regions (rkey model)
+// ---------------------------------------------------------------------------
+
+Result<std::uint32_t> VmmcLcp::CreateRecvRegion(int pid,
+                                                std::uint64_t first_page_offset,
+                                                std::uint64_t len,
+                                                std::vector<mem::Pfn> frames) {
+  assert(nic_ != nullptr && "LCP not running yet");
+  if (len == 0 || frames.empty()) {
+    return InvalidArgument("empty recv region");
+  }
+  if (first_page_offset + len > frames.size() * kPageSize) {
+    return InvalidArgument("recv region length exceeds its frame list");
+  }
+  const std::uint32_t rtag = next_rtag_++;
+  // The table entry lives in SRAM: a fixed header plus one word-pair per
+  // frame. Running out of SRAM is the same §6 resource pressure every
+  // other per-process structure is subject to.
+  auto sram = nic_->sram().Allocate(
+      "rtag-" + std::to_string(rtag),
+      16 + 8 * static_cast<std::uint32_t>(frames.size()));
+  if (!sram.ok()) return sram.status();
+  RecvRegion region;
+  region.pid = pid;
+  region.first_page_offset = first_page_offset;
+  region.len = len;
+  region.frames = std::move(frames);
+  region.sram_region = sram.value();
+  recv_regions_.emplace(rtag, std::move(region));
+  return rtag;
+}
+
+Status VmmcLcp::ReleaseRecvRegion(std::uint32_t rtag) {
+  auto it = recv_regions_.find(rtag);
+  if (it == recv_regions_.end()) return NotFound("no such rtag");
+  (void)nic_->sram().Free(it->second.sram_region);
+  recv_regions_.erase(it);
+  return OkStatus();
+}
+
+const VmmcLcp::RecvRegion* VmmcLcp::FindRecvRegion(std::uint32_t rtag) const {
+  auto it = recv_regions_.find(rtag);
+  return it == recv_regions_.end() ? nullptr : &it->second;
+}
+
+Result<VmmcLcp::RtagTarget> VmmcLcp::ResolveRtag(std::uint32_t rtag,
+                                                 std::uint64_t offset,
+                                                 std::uint32_t chunk_len) const {
+  auto it = recv_regions_.find(rtag);
+  if (it == recv_regions_.end()) return NotFound("unknown rtag");
+  const RecvRegion& r = it->second;
+  if (chunk_len == 0 || offset > r.len || offset + chunk_len > r.len) {
+    return PermissionDenied("rtag access outside the registered region");
+  }
+  // Chunks are at most a page, so they span at most one frame boundary.
+  assert(chunk_len <= kPageSize);
+  const std::uint64_t abs = r.first_page_offset + offset;
+  const std::uint64_t page = abs / kPageSize;
+  RtagTarget t;
+  t.pa0 = mem::PageAddr(r.frames[page]) + abs % kPageSize;
+  const std::uint64_t last_page = (abs + chunk_len - 1) / kPageSize;
+  if (last_page != page) {
+    t.pa1 = mem::PageAddr(r.frames[page + 1]);
+    t.seg0 = static_cast<std::uint32_t>(kPageSize - abs % kPageSize);
+  } else {
+    t.seg0 = chunk_len;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
 // LCP main loop
 // ---------------------------------------------------------------------------
 
@@ -240,6 +325,16 @@ sim::Process VmmcLcp::Run(lanai::NicCard& nic) {
       // packets" (§5.3).
       if (auto rp = nic.rx_queue().TryGet()) {
         co_await HandleRecv(nic, std::move(*rp));
+        continue;
+      }
+      // One-sided reads we are serving for remote requesters: one chunk
+      // per iteration, between receive handling and local send pickup, so
+      // neither side starves the other for more than a chunk. A front
+      // request blocked on a closed window is not runnable; the ACK that
+      // reopens it posts a work token like any other packet.
+      if (!read_serves_.empty() &&
+          (!reliable() || WindowOpen(read_serves_.front().requester))) {
+        co_await ServeReadChunk(nic);
         continue;
       }
       ProcState* proc = NextProcWithWork();
@@ -371,6 +466,39 @@ sim::Process VmmcLcp::StartSend(lanai::NicCard& nic, ProcState& proc,
     FinishRequest(proc, req.slot, SendStatus::kBadLength);
     co_return;
   }
+  if (req.read != nullptr) {
+    // One-sided read: a single control packet toward the serving node.
+    const std::uint32_t dst_node = req.read->src_node;
+    if (dst_node >= routes_.size()) {
+      FinishRequest(proc, req.slot, SendStatus::kBadProxy);
+      co_return;
+    }
+    ++stats_.rdma_read_requests;
+    if (!reliable() || WindowOpen(dst_node)) {
+      co_await SendReadRequest(nic, proc, req);
+    } else {
+      ++stats_.window_stalls;
+      obs_.window_stalls->Inc();
+      proc.active = ProcState::ActiveLongSend{std::move(req), 0, true, dst_node};
+    }
+    co_return;
+  }
+  if (req.direct != nullptr) {
+    // One-sided write: rtag addressing, no proxy validation here — the
+    // serving side's region table is the protection boundary. Any length
+    // goes through the chunked path (the data is in user memory, not the
+    // PIO-written queue entry).
+    const std::uint32_t dst_node = req.direct->dst_node;
+    if (dst_node >= routes_.size()) {
+      FinishRequest(proc, req.slot, SendStatus::kBadProxy);
+      co_return;
+    }
+    ++stats_.rdma_writes;
+    obs_.rdma_writes->Inc();
+    ++stats_.long_sends;
+    proc.active = ProcState::ActiveLongSend{std::move(req), 0, true, dst_node};
+    co_return;
+  }
   // Resolve and validate the first chunk's destination now; the remaining
   // pages are validated chunk by chunk.
   std::uint32_t dst_node = 0;
@@ -457,7 +585,23 @@ sim::Process VmmcLcp::HandleShortSend(lanai::NicCard& nic, ProcState& proc,
 
 sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
   assert(proc.active.has_value());
-  if (proc.active->req.len <= params_.vmmc.short_send_max) {
+  if (proc.active->req.read != nullptr) {
+    // A read request parked on a closed window; the scheduler only
+    // re-runs it once the window reopened.
+    co_await SendReadRequest(nic, proc, proc.active->req);
+    proc.active.reset();
+    co_return;
+  }
+  if (proc.active->fin_stage) {
+    // Data chunks of a direct send are out; emit the completion fin.
+    const DirectSend& d = *proc.active->req.direct;
+    co_await SendFinChunk(nic, proc.active->dst_node, d.fin_rtag,
+                          d.fin_offset, d.fin_value);
+    proc.active.reset();
+    co_return;
+  }
+  if (proc.active->req.direct == nullptr &&
+      proc.active->req.len <= params_.vmmc.short_send_max) {
     // A short send parked on a closed window (StartSend); the scheduler
     // only re-runs it once the window reopened.
     co_await HandleShortSend(nic, proc, proc.active->req);
@@ -504,15 +648,26 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
   }
   const mem::PhysAddr src_pa = mem::PageAddr(pfn.value()) + mem::PageOffset(src);
 
-  // Destination validation for this chunk.
+  // Destination for this chunk: rtag-encoded for direct sends (the
+  // serving node translates and validates), proxy-resolved otherwise.
   std::uint32_t dst_node = 0;
-  auto target = ResolveChunkTarget(proc, dst, chunk_len, &dst_node);
-  if (!target.ok()) {
-    ++stats_.protection_violations;
-    obs_.protection_violations->Inc();
-    FinishRequest(proc, req.slot, SendStatus::kBadProxy);
-    proc.active.reset();
-    co_return;
+  std::uint64_t pa0 = 0;
+  std::uint64_t pa1 = 0;
+  if (req.direct != nullptr) {
+    dst_node = req.direct->dst_node;
+    pa0 = ChunkHeader::PackRtag(req.direct->rtag,
+                                req.direct->offset + as.offset);
+  } else {
+    auto target = ResolveChunkTarget(proc, dst, chunk_len, &dst_node);
+    if (!target.ok()) {
+      ++stats_.protection_violations;
+      obs_.protection_violations->Inc();
+      FinishRequest(proc, req.slot, SendStatus::kBadProxy);
+      proc.active.reset();
+      co_return;
+    }
+    pa0 = target.value().first;
+    pa1 = target.value().second;
   }
   as.dst_node = dst_node;
   if (reliable() && !WindowOpen(dst_node)) {
@@ -558,12 +713,13 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
   ChunkHeader h;
   h.type = PacketType::kData;
   h.flags = (last ? ChunkHeader::kFlagLastChunk : 0) |
-            (req.notify ? ChunkHeader::kFlagNotify : 0);
+            (req.notify ? ChunkHeader::kFlagNotify : 0) |
+            (req.direct != nullptr ? ChunkHeader::kFlagRtag : 0);
   h.src_node = static_cast<std::uint16_t>(nic.nic_id());
   h.msg_len = req.len;
   h.chunk_len = chunk_len;
-  h.dst_pa0 = target.value().first;
-  h.dst_pa1 = target.value().second;
+  h.dst_pa0 = pa0;
+  h.dst_pa1 = pa1;
   if (reliable()) {
     h.flags |= ChunkHeader::kFlagReliable;
     h.dst_node = static_cast<std::uint16_t>(dst_node);
@@ -586,7 +742,210 @@ sim::Process VmmcLcp::SendOneChunk(lanai::NicCard& nic, ProcState& proc) {
     co_await nic.NetSend(std::move(pkt));
   }
   as.offset += chunk_len;
-  if (last) proc.active.reset();
+  if (last) {
+    if (req.direct != nullptr && req.direct->fin_rtag != 0) {
+      as.fin_stage = true;  // the 4-byte fin chunk still has to go out
+    } else {
+      proc.active.reset();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One-sided RDMA: read requests, read serving, completion fins
+// ---------------------------------------------------------------------------
+
+sim::Process VmmcLcp::SendReadRequest(lanai::NicCard& nic, ProcState& proc,
+                                      SendRequest& req) {
+  const ReadRequest& rr = *req.read;
+  auto span = obs_.track >= 0
+                  ? nic.simulator().tracer().Scope(obs_.track, "read_req")
+                  : obs::Tracer::Span();
+  // A read request is a control short-send: header build plus a three-word
+  // payload copy (the fin triple).
+  co_await nic.cpu().Exec(params_.lanai.short_copy_base +
+                          3 * params_.lanai.short_copy_per_word +
+                          params_.lanai.header_prep);
+  ChunkHeader h;
+  h.type = PacketType::kRdmaRead;
+  h.flags = ChunkHeader::kFlagRtag;
+  h.src_node = static_cast<std::uint16_t>(nic.nic_id());
+  h.msg_len = req.len;  // bytes to read
+  h.chunk_len = 12;
+  h.dst_pa0 = ChunkHeader::PackRtag(rr.dst_rtag, rr.dst_offset);
+  h.dst_pa1 = ChunkHeader::PackRtag(rr.src_rtag, rr.src_offset);
+  if (reliable()) {
+    h.flags |= ChunkHeader::kFlagReliable;
+    h.dst_node = static_cast<std::uint16_t>(rr.src_node);
+    h.seq = peer_tx_[rr.src_node].gbn.next_seq();
+  }
+  std::uint8_t fin[12];
+  for (int i = 0; i < 4; ++i) {
+    fin[i] = static_cast<std::uint8_t>(rr.fin_rtag >> (8 * i));
+    fin[4 + i] = static_cast<std::uint8_t>(rr.fin_offset >> (8 * i));
+    fin[8 + i] = static_cast<std::uint8_t>(rr.fin_value >> (8 * i));
+  }
+  myrinet::Packet pkt;
+  pkt.route = routes_[rr.src_node];
+  pkt.payload = EncodeChunk(h, fin);
+  if (reliable()) RecordSentPacket(nic, rr.src_node, pkt);
+  ++stats_.chunks_sent;
+  obs_.chunks_sent->Inc();
+  tx_box_->Put(TxItem{std::move(pkt), /*release_staging=*/false});
+  // The request is on its way; the caller's completion word flips now and
+  // the data's arrival is signalled by the fin word, not this slot.
+  co_await nic.cpu().Exec(params_.lanai.completion_writeback);
+  FinishRequest(proc, req.slot, SendStatus::kDone);
+}
+
+sim::Process VmmcLcp::SendFinChunk(lanai::NicCard& nic, std::uint32_t dst_node,
+                                   std::uint32_t rtag, std::uint64_t offset,
+                                   std::uint32_t value) {
+  co_await nic.cpu().Exec(params_.lanai.header_prep +
+                          params_.lanai.short_copy_base +
+                          params_.lanai.short_copy_per_word);
+  ChunkHeader h;
+  h.type = PacketType::kData;
+  h.flags = ChunkHeader::kFlagRtag | ChunkHeader::kFlagLastChunk;
+  h.src_node = static_cast<std::uint16_t>(nic.nic_id());
+  h.msg_len = 4;
+  h.chunk_len = 4;
+  h.dst_pa0 = ChunkHeader::PackRtag(rtag, offset);
+  if (reliable()) {
+    h.flags |= ChunkHeader::kFlagReliable;
+    h.dst_node = static_cast<std::uint16_t>(dst_node);
+    h.seq = peer_tx_[dst_node].gbn.next_seq();
+  }
+  std::uint8_t bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  myrinet::Packet pkt;
+  pkt.route = routes_[dst_node];
+  pkt.payload = EncodeChunk(h, bytes);
+  if (reliable()) RecordSentPacket(nic, dst_node, pkt);
+  ++stats_.chunks_sent;
+  ++stats_.rdma_fins_sent;
+  stats_.bytes_sent += 4;
+  obs_.chunks_sent->Inc();
+  obs_.bytes_sent->Inc(4);
+  tx_box_->Put(TxItem{std::move(pkt), /*release_staging=*/false});
+}
+
+void VmmcLcp::HandleReadRequest(const ChunkHeader& h,
+                                std::span<const std::uint8_t> data) {
+  if (data.size() < 12 || h.msg_len == 0 ||
+      h.msg_len > params_.vmmc.max_send_bytes ||
+      h.src_node >= routes_.size()) {
+    ++stats_.protection_violations;
+    obs_.protection_violations->Inc();
+    return;
+  }
+  auto u32 = [&](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data[at + static_cast<std::size_t>(i)];
+    return v;
+  };
+  ReadServe rs;
+  rs.requester = h.src_node;
+  rs.src_rtag = ChunkHeader::RtagOf(h.dst_pa1);
+  rs.src_offset = ChunkHeader::RtagOffsetOf(h.dst_pa1);
+  rs.dst_rtag = ChunkHeader::RtagOf(h.dst_pa0);
+  rs.dst_offset = ChunkHeader::RtagOffsetOf(h.dst_pa0);
+  rs.len = h.msg_len;
+  rs.fin_rtag = u32(0);
+  rs.fin_offset = u32(4);
+  rs.fin_value = u32(8);
+  ++stats_.rdma_reads_served;
+  obs_.rdma_reads_served->Inc();
+  read_serves_.push_back(std::move(rs));
+}
+
+sim::Process VmmcLcp::ServeReadChunk(lanai::NicCard& nic) {
+  assert(!read_serves_.empty());
+  ReadServe& rs = read_serves_.front();
+  if (rs.fin_stage) {
+    co_await SendFinChunk(nic, rs.requester, rs.fin_rtag, rs.fin_offset,
+                          rs.fin_value);
+    read_serves_.pop_front();
+    co_return;
+  }
+  auto span = obs_.track >= 0
+                  ? nic.simulator().tracer().Scope(obs_.track, "read_serve")
+                  : obs::Tracer::Span();
+  // Serving a read is outgoing-chunk work driven by the main state
+  // machine (it always competes with local sends and receive handling, so
+  // there is no tight-loop discount), plus the region-table probe.
+  co_await nic.cpu().Exec(params_.lanai.chunk_overhead +
+                          params_.lanai.rtag_lookup);
+  const std::uint32_t chunk_len = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(rs.len - rs.offset, params_.vmmc.chunk_bytes));
+  auto src = ResolveRtag(rs.src_rtag, rs.src_offset + rs.offset, chunk_len);
+  if (!src.ok()) {
+    ++stats_.protection_violations;
+    obs_.protection_violations->Inc();
+    if (rs.fin_rtag != 0) {
+      // Tell the requester instead of leaving it spinning forever.
+      rs.fin_value |= 0x8000'0000u;
+      rs.fin_stage = true;
+    } else {
+      read_serves_.pop_front();
+    }
+    co_return;
+  }
+  const bool last = rs.offset + chunk_len == rs.len;
+  if (params_.vmmc.pipeline_dma) co_await staging_->Acquire();
+  auto payload =
+      myrinet::Buffer::Uninitialized(ChunkHeader::kWireSize + chunk_len);
+  const sim::Tick dma_t0 = nic.simulator().now();
+  co_await nic.HostDmaRead(
+      src.value().pa0,
+      std::span<std::uint8_t>(payload.MutableData() + ChunkHeader::kWireSize,
+                              src.value().seg0));
+  if (src.value().pa1 != 0) {
+    co_await nic.HostDmaRead(
+        src.value().pa1,
+        std::span<std::uint8_t>(payload.MutableData() +
+                                    ChunkHeader::kWireSize + src.value().seg0,
+                                chunk_len - src.value().seg0));
+  }
+  obs_.host_dma_ns->Observe(static_cast<double>(nic.simulator().now() - dma_t0));
+
+  ChunkHeader h;
+  h.type = PacketType::kData;
+  h.flags = ChunkHeader::kFlagRtag | (last ? ChunkHeader::kFlagLastChunk : 0);
+  h.src_node = static_cast<std::uint16_t>(nic.nic_id());
+  h.msg_len = rs.len;
+  h.chunk_len = chunk_len;
+  h.dst_pa0 = ChunkHeader::PackRtag(rs.dst_rtag, rs.dst_offset + rs.offset);
+  if (reliable()) {
+    h.flags |= ChunkHeader::kFlagReliable;
+    h.dst_node = static_cast<std::uint16_t>(rs.requester);
+    h.seq = peer_tx_[rs.requester].gbn.next_seq();
+  }
+  myrinet::Packet pkt;
+  pkt.route = routes_[rs.requester];
+  EncodeHeaderInto(h, payload.MutableData());
+  pkt.payload = std::move(payload);
+  if (reliable()) RecordSentPacket(nic, rs.requester, pkt);
+
+  ++stats_.chunks_sent;
+  stats_.bytes_sent += chunk_len;
+  obs_.chunks_sent->Inc();
+  obs_.bytes_sent->Inc(chunk_len);
+  if (params_.vmmc.pipeline_dma) {
+    tx_box_->Put(TxItem{std::move(pkt), /*release_staging=*/true});
+  } else {
+    co_await nic.NetSend(std::move(pkt));
+  }
+  rs.offset += chunk_len;
+  if (last) {
+    if (rs.fin_rtag != 0) {
+      rs.fin_stage = true;
+    } else {
+      read_serves_.pop_front();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -632,7 +991,9 @@ sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) 
     co_return;
   }
   const ChunkHeader& h = decoded->header;
-  if (h.type != PacketType::kData) co_return;  // mapping traffic: not ours
+  if (h.type != PacketType::kData && h.type != PacketType::kRdmaRead) {
+    co_return;  // mapping traffic: not ours
+  }
 
   if (h.reliable()) {
     // A misrouted or corrupted-header delivery: never apply, never ACK —
@@ -675,18 +1036,44 @@ sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) 
     }
   }
 
+  // One-sided read request: queue it for the serving loop (the GBN checks
+  // above already guaranteed in-order exactly-once admission).
+  if (h.type == PacketType::kRdmaRead) {
+    HandleReadRequest(h, decoded->data);
+    co_return;
+  }
+
+  // rtag-addressed chunks resolve against the registered-region table
+  // before the page-table checks; a miss or an out-of-bounds offset is a
+  // protection violation like any other.
+  std::uint64_t pa0 = h.dst_pa0;
+  std::uint64_t pa1 = h.dst_pa1;
+  std::uint32_t seg0 = h.ScatterLen0();
+  if (h.rtag_addressed()) {
+    co_await nic.cpu().Exec(params_.lanai.rtag_lookup);
+    auto t = ResolveRtag(ChunkHeader::RtagOf(h.dst_pa0),
+                         ChunkHeader::RtagOffsetOf(h.dst_pa0), h.chunk_len);
+    if (!t.ok()) {
+      ++stats_.protection_violations;
+      obs_.protection_violations->Inc();
+      co_return;
+    }
+    pa0 = t.value().pa0;
+    pa1 = t.value().pa1;
+    seg0 = t.value().seg0;
+  }
+
   // Check the incoming page table before any DMA touches host memory: a
   // frame may be written only if its export enabled reception (§4.4).
-  const std::uint32_t seg0 = h.ScatterLen0();
-  const IncomingEntry* e0 = incoming_->Find(mem::PageNumber(h.dst_pa0));
+  const IncomingEntry* e0 = incoming_->Find(mem::PageNumber(pa0));
   if (e0 == nullptr || !e0->recv_enabled) {
     ++stats_.protection_violations;
     obs_.protection_violations->Inc();
     co_return;
   }
   const IncomingEntry* e1 = nullptr;
-  if (h.dst_pa1 != 0 && seg0 < h.chunk_len) {
-    e1 = incoming_->Find(mem::PageNumber(h.dst_pa1));
+  if (pa1 != 0 && seg0 < h.chunk_len) {
+    e1 = incoming_->Find(mem::PageNumber(pa1));
     if (e1 == nullptr || !e1->recv_enabled) {
       ++stats_.protection_violations;
       obs_.protection_violations->Inc();
@@ -696,9 +1083,9 @@ sim::Process VmmcLcp::HandleRecv(lanai::NicCard& nic, lanai::ReceivedPacket rp) 
 
   // Two-piece scatter into pinned receive-buffer frames (§4.5). No host
   // CPU copy: this is the zero-copy receive path.
-  co_await nic.HostDmaWrite(h.dst_pa0, decoded->data.subspan(0, seg0));
+  co_await nic.HostDmaWrite(pa0, decoded->data.subspan(0, seg0));
   if (e1 != nullptr) {
-    co_await nic.HostDmaWrite(h.dst_pa1, decoded->data.subspan(seg0));
+    co_await nic.HostDmaWrite(pa1, decoded->data.subspan(seg0));
   }
   ++stats_.chunks_received;
   stats_.bytes_received += h.chunk_len;
@@ -867,7 +1254,10 @@ void VmmcLcp::OnDropNotice(const myrinet::Packet& packet) {
   if (!decoded.has_value()) return;
   const ChunkHeader& h = decoded->header;
   // Dropped ACKs are left to the receiver's re-ACK-on-duplicate path.
-  if (h.type != PacketType::kData || !h.reliable()) return;
+  if ((h.type != PacketType::kData && h.type != PacketType::kRdmaRead) ||
+      !h.reliable()) {
+    return;
+  }
   if (h.src_node != static_cast<std::uint16_t>(nic_->nic_id())) return;
   const std::uint32_t dst = h.dst_node;
   if (dst >= peer_tx_.size()) return;

@@ -66,7 +66,8 @@ std::optional<DecodedChunk> DecodeChunk(std::span<const std::uint8_t> payload) {
   if (type != static_cast<std::uint8_t>(PacketType::kData) &&
       type != static_cast<std::uint8_t>(PacketType::kMapProbe) &&
       type != static_cast<std::uint8_t>(PacketType::kMapReply) &&
-      type != static_cast<std::uint8_t>(PacketType::kAck)) {
+      type != static_cast<std::uint8_t>(PacketType::kAck) &&
+      type != static_cast<std::uint8_t>(PacketType::kRdmaRead)) {
     return std::nullopt;
   }
   h.type = static_cast<PacketType>(type);

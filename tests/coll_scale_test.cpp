@@ -30,8 +30,10 @@ struct RunResult {
 };
 
 // Boots `options`, creates one lazy-link communicator per rank, runs one
-// ring allreduce over `elems` int64 per rank, and fingerprints the run.
-RunResult RunAllReduce(const ClusterOptions& options, std::size_t elems) {
+// allreduce over an n-element int64 vector (the algorithm follows from
+// the vector size — see Communicator::SelectAllReduce; indivisible or
+// oversized n exercises the fallbacks), and fingerprints the run.
+RunResult RunAllReduce(const ClusterOptions& options, std::size_t n) {
   RunResult out;
   sim::Simulator sim;
   Params params;
@@ -55,8 +57,8 @@ RunResult RunAllReduce(const ClusterOptions& options, std::size_t elems) {
 
   int finished = 0;
   std::vector<std::int64_t> rank0;  // rank 0's result, for verification
-  auto run = [&comms, &finished, &rank0, elems, size](int r) -> sim::Process {
-    std::vector<std::int64_t> values(elems * static_cast<std::size_t>(size));
+  auto run = [&comms, &finished, &rank0, n, size](int r) -> sim::Process {
+    std::vector<std::int64_t> values(n);
     for (std::size_t i = 0; i < values.size(); ++i) {
       values[i] = static_cast<std::int64_t>(i % 7) + r;
     }
@@ -78,8 +80,7 @@ RunResult RunAllReduce(const ClusterOptions& options, std::size_t elems) {
 }
 
 // The allreduce of values[i] = (i % 7) + r over ranks r = 0..size-1.
-std::vector<std::int64_t> ExpectedSum(int size, std::size_t elems) {
-  const std::size_t n = elems * static_cast<std::size_t>(size);
+std::vector<std::int64_t> ExpectedSum(int size, std::size_t n) {
   // Sum over r of ((i % 7) + r) = size * (i % 7) + size*(size-1)/2.
   const std::int64_t rank_part =
       static_cast<std::int64_t>(size) * (size - 1) / 2;
@@ -95,33 +96,35 @@ std::vector<std::int64_t> ExpectedSum(int size, std::size_t elems) {
 TEST(CollScaleTest, SixteenNodeFatTreeRingAllReduce) {
   auto options = ClusterOptions::FromSpec("fattree:16@8");
   ASSERT_TRUE(options.ok());
-  const RunResult r = RunAllReduce(options.value(), 32);
-  EXPECT_EQ(r.values, ExpectedSum(16, 32));
+  const RunResult r = RunAllReduce(options.value(), 512);
+  EXPECT_EQ(r.values, ExpectedSum(16, 512));
   EXPECT_GT(r.link_packets, 0u);
   // Exact event-count golden: the three-tier queue must dispatch the
   // byte-identical schedule the pre-rework priority queue did. Any change
   // in event order, count or timing shows up here immediately. (Update
   // only for deliberate model changes, together with EXPERIMENTS.md.)
-  EXPECT_EQ(r.events, 657214u);
-  EXPECT_EQ(r.end_time, 21279930);
-  EXPECT_EQ(r.link_packets, 7064u);
+  EXPECT_EQ(r.events, 559940u);
+  EXPECT_EQ(r.end_time, 18021144);
+  EXPECT_EQ(r.link_packets, 7415u);
 }
 
 TEST(CollScaleTest, EightNodeRingAllReduce) {
   auto options = ClusterOptions::FromSpec("ring:8@4");
   ASSERT_TRUE(options.ok());
-  const RunResult r = RunAllReduce(options.value(), 32);
-  EXPECT_EQ(r.values, ExpectedSum(8, 32));
+  // 512 int64 = 4 KB: above the eager crossover, so this stays on the
+  // bandwidth-bound ring algorithm.
+  const RunResult r = RunAllReduce(options.value(), 512);
+  EXPECT_EQ(r.values, ExpectedSum(8, 512));
   // Exact event-count golden (see the fat-tree test above).
-  EXPECT_EQ(r.events, 163871u);
-  EXPECT_EQ(r.end_time, 10696393);
+  EXPECT_EQ(r.events, 148457u);
+  EXPECT_EQ(r.end_time, 9268151);
 }
 
 TEST(CollScaleTest, FatTreeRunsAreDeterministic) {
   auto options = ClusterOptions::FromSpec("fattree:16@8");
   ASSERT_TRUE(options.ok());
-  const RunResult a = RunAllReduce(options.value(), 32);
-  const RunResult b = RunAllReduce(options.value(), 32);
+  const RunResult a = RunAllReduce(options.value(), 512);
+  const RunResult b = RunAllReduce(options.value(), 512);
   EXPECT_EQ(a.end_time, b.end_time);
   EXPECT_TRUE(a == b) << "same seed must reproduce times and counters";
 }
@@ -129,8 +132,8 @@ TEST(CollScaleTest, FatTreeRunsAreDeterministic) {
 TEST(CollScaleTest, RingRunsAreDeterministic) {
   auto options = ClusterOptions::FromSpec("ring:8@4");
   ASSERT_TRUE(options.ok());
-  const RunResult a = RunAllReduce(options.value(), 32);
-  const RunResult b = RunAllReduce(options.value(), 32);
+  const RunResult a = RunAllReduce(options.value(), 256);
+  const RunResult b = RunAllReduce(options.value(), 256);
   EXPECT_TRUE(a == b);
 }
 
@@ -158,7 +161,8 @@ TEST(CollScaleTest, LazyLinksOnlyTouchRingNeighbours) {
 
   int finished = 0;
   auto run = [&](int r) -> sim::Process {
-    std::vector<std::int64_t> values(16, r);
+    // 1024 * 8 bytes: large enough for the ring algorithm.
+    std::vector<std::int64_t> values(1024, r);
     Status s = co_await comms[static_cast<std::size_t>(r)]->AllReduceSum(values);
     CO_ASSERT_TRUE(s.ok());
     ++finished;
@@ -167,6 +171,104 @@ TEST(CollScaleTest, LazyLinksOnlyTouchRingNeighbours) {
   ASSERT_TRUE(sim.RunUntil([&] { return finished == 16; }, 60'000'000'000ll));
   // A ring allreduce touches exactly the two neighbours, not all 15 peers.
   for (const auto& c : comms) EXPECT_EQ(c->links_established(), 2);
+
+  // A small allreduce on the same communicators switches to recursive
+  // doubling: partners r^1, r^2, r^4, r^8. r^1 is always a ring
+  // neighbour, so exactly three channels are added on top of the two
+  // ring links.
+  finished = 0;
+  auto run_small = [&](int r) -> sim::Process {
+    std::vector<std::int64_t> values(16, r);
+    Status s = co_await comms[static_cast<std::size_t>(r)]->AllReduceSum(values);
+    CO_ASSERT_TRUE(s.ok());
+    ++finished;
+  };
+  for (int r = 0; r < 16; ++r) sim.Spawn(run_small(r));
+  ASSERT_TRUE(sim.RunUntil([&] { return finished == 16; }, 60'000'000'000ll));
+  for (const auto& c : comms) EXPECT_EQ(c->links_established(), 5);
+}
+
+using Algo = Communicator::AllReduceAlgo;
+
+// SelectAllReduce is a pure function of vector size, world size and the
+// eager threshold; pin the whole decision table down on one cluster.
+TEST(CollScaleTest, AlgorithmSelectionFollowsSizeAndShape) {
+  sim::Simulator sim;
+  Params params;
+  ClusterOptions options;
+  options.num_nodes = 4;
+  Cluster cluster(sim, params, options);
+  ASSERT_TRUE(cluster.Boot().ok());
+  // The boundary element count: one eager message of int64.
+  const std::size_t small = params.vmmc.p2p.eager_max / 8;
+
+  // Worlds of size 4 (power of two), 3 (not) and 1, under separate tags.
+  std::vector<std::unique_ptr<Communicator>> four(4), three(3), one(1);
+  int created = 0;
+  auto create = [&](std::vector<std::unique_ptr<Communicator>>& comms,
+                    std::string tag, int r) -> sim::Process {
+    CommOptions copts;
+    copts.lazy_links = true;
+    auto c = co_await Communicator::Create(
+        cluster, r, static_cast<int>(comms.size()), std::move(tag), copts);
+    CO_ASSERT_TRUE(c.ok());
+    comms[static_cast<std::size_t>(r)] = std::move(c).value();
+    ++created;
+  };
+  for (int r = 0; r < 4; ++r) sim.Spawn(create(four, "w4", r));
+  for (int r = 0; r < 3; ++r) sim.Spawn(create(three, "w3", r));
+  sim.Spawn(create(one, "w1", 0));
+  ASSERT_TRUE(sim.RunUntil([&] { return created == 8; }, 10'000'000'000ll));
+
+  // A lone rank never communicates, whatever the size.
+  EXPECT_EQ(one[0]->SelectAllReduce(1), Algo::kSingle);
+  EXPECT_EQ(one[0]->SelectAllReduce(1 << 20), Algo::kSingle);
+
+  // At or under one eager message: latency-bound, log-round algorithms —
+  // recursive doubling on power-of-two worlds, binomial tree otherwise.
+  EXPECT_EQ(four[0]->SelectAllReduce(1), Algo::kRecursiveDoubling);
+  EXPECT_EQ(four[0]->SelectAllReduce(small), Algo::kRecursiveDoubling);
+  EXPECT_EQ(three[0]->SelectAllReduce(small), Algo::kBinomialTree);
+
+  // One element past the threshold: bandwidth-bound. The ring needs the
+  // count divisible by the world size with chunks that fit one message.
+  EXPECT_EQ(four[0]->SelectAllReduce(small + 8), Algo::kRing);  // 64 | 4
+  EXPECT_EQ(four[0]->SelectAllReduce(small + 1), Algo::kGatherBroadcast);
+  EXPECT_EQ(three[0]->SelectAllReduce(900), Algo::kRing);
+  EXPECT_EQ(three[0]->SelectAllReduce(901), Algo::kGatherBroadcast);
+  // Divisible, but the per-rank chunk would exceed kMaxMessage.
+  const std::size_t chunk_limit = Communicator::kMaxMessage / 8;  // elements
+  EXPECT_EQ(four[0]->SelectAllReduce(4 * chunk_limit), Algo::kRing);
+  EXPECT_EQ(four[0]->SelectAllReduce(4 * (chunk_limit + 1)),
+            Algo::kGatherBroadcast);
+}
+
+TEST(CollScaleTest, SixteenNodeIndivisibleFallsBackToGatherBroadcast) {
+  auto options = ClusterOptions::FromSpec("fattree:16@8");
+  ASSERT_TRUE(options.ok());
+  // 520 int64 = 4160 bytes, not divisible by 16: the ring is out, the
+  // gather+broadcast fallback must still produce the exact sums.
+  const RunResult r = RunAllReduce(options.value(), 520);
+  EXPECT_EQ(r.values, ExpectedSum(16, 520));
+  EXPECT_GT(r.link_packets, 0u);
+}
+
+TEST(CollScaleTest, SixtyFourNodeIndivisibleAllReduce) {
+  auto options = ClusterOptions::FromSpec("fattree:64@16");
+  ASSERT_TRUE(options.ok());
+  // 67 elements: above the eager threshold and coprime with 64, so this
+  // lands on gather+broadcast at the full 64-node scale.
+  const RunResult r = RunAllReduce(options.value(), 67);
+  EXPECT_EQ(r.values, ExpectedSum(64, 67));
+}
+
+TEST(CollScaleTest, NonPowerOfTwoWorldSmallVectorUsesBinomialTree) {
+  auto options = ClusterOptions::FromSpec("ring:6@4");
+  ASSERT_TRUE(options.ok());
+  // 8 int64 = 64 bytes on a 6-rank world: small but not power-of-two, so
+  // recursive doubling is out and the binomial tree handles it.
+  const RunResult r = RunAllReduce(options.value(), 8);
+  EXPECT_EQ(r.values, ExpectedSum(6, 8));
 }
 
 }  // namespace

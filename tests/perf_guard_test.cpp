@@ -312,5 +312,41 @@ TEST(PerfGuardTest, LcpSteadyStateServesPayloadsFromPool) {
   EXPECT_EQ(d.unshares, 0u) << "steady-state send path deep-copied a payload";
 }
 
+// --- Registration cache: warm hit/release path is allocation-free ----------
+
+TEST(PerfGuardTest, RegCacheWarmHitAndReleaseAreAllocationFree) {
+  sim::Simulator sim;
+  Params params;
+  vmmc_core::ClusterOptions options;
+  options.num_nodes = 2;
+  vmmc_core::Cluster cluster(sim, params, options);
+  ASSERT_TRUE(cluster.Boot().ok());
+  auto ep = cluster.OpenEndpoint(0, "rc");
+  ASSERT_TRUE(ep.ok());
+  vmmc_core::RegCache& rc = ep.value()->reg_cache();
+
+  auto va = ep.value()->AllocBuffer(64 * 1024);
+  ASSERT_TRUE(va.ok());
+  // Warm: the cold miss allocates the entry, its frame vector and the map
+  // slots; afterwards the registration sits idle in the cache.
+  auto cold = rc.Acquire(va.value(), 64 * 1024, vmmc_core::RegIntent::kRecv);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(rc.Release(cold.value().region.cache_id).ok());
+
+  const std::uint64_t before = g_new_calls;
+  for (int i = 0; i < 1000; ++i) {
+    auto warm = rc.Acquire(va.value(), 64 * 1024, vmmc_core::RegIntent::kRecv);
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(warm.value().hit);
+    ASSERT_TRUE(rc.Release(warm.value().region.cache_id).ok());
+  }
+  // The property reg_cache.h promises: the hit and release paths are
+  // allocation-free (hash probe + intrusive LRU splice), so steady-state
+  // rendezvous transfers do zero pin work and zero heap work.
+  EXPECT_EQ(g_new_calls - before, 0u)
+      << "warm Acquire/Release must not touch the heap";
+  EXPECT_EQ(rc.hits(), 1000u);
+}
+
 }  // namespace
 }  // namespace vmmc

@@ -224,7 +224,7 @@ struct ClusterRun {
 // threads == -1: partitioned cluster driven by a single worker (the
 // reference schedule; the runtime front-end maps anything < 2 to the
 // serial substrate, so this case is built directly).
-ClusterRun RunAllReduce(int threads, std::uint64_t seed, std::size_t elems) {
+ClusterRun RunAllReduce(int threads, std::uint64_t seed, std::size_t n) {
   using coll::CommOptions;
   using coll::Communicator;
   using vmmc_core::ClusterOptions;
@@ -268,8 +268,8 @@ ClusterRun RunAllReduce(int threads, std::uint64_t seed, std::size_t elems) {
 
   std::atomic<int> finished{0};
   std::vector<std::int64_t> rank0;
-  auto run = [&comms, &finished, &rank0, seed, elems](int r) -> Process {
-    std::vector<std::int64_t> values(elems * kNodes);
+  auto run = [&comms, &finished, &rank0, seed, n](int r) -> Process {
+    std::vector<std::int64_t> values(n);
     for (std::size_t i = 0; i < values.size(); ++i) {
       values[i] = static_cast<std::int64_t>(Mix(seed + i) % 1000) + r;
     }
@@ -293,21 +293,36 @@ TEST(ParallelCluster, AllreduceWorkerCountInvariance) {
   for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
     // The single-thread reference for the partitioned cluster is the
     // engine run by one worker (the caller thread); additional workers
-    // must replay it bit for bit.
-    ClusterRun ref = RunAllReduce(/*threads=*/-1, seed, /*elems=*/4);
-    ClusterRun two = RunAllReduce(/*threads=*/2, seed, /*elems=*/4);
+    // must replay it bit for bit. 64 int64 = 512 bytes: ring algorithm.
+    ClusterRun ref = RunAllReduce(/*threads=*/-1, seed, /*n=*/64);
+    ClusterRun two = RunAllReduce(/*threads=*/2, seed, /*n=*/64);
     EXPECT_EQ(two, ref) << "seed " << seed;
-    ASSERT_EQ(ref.values.size(), 4u * 16u);
+    ASSERT_EQ(ref.values.size(), 64u);
   }
   // 4 workers and the serial cluster's arithmetic, spot-checked on one
   // seed (each whole-stack run is expensive under ctest).
-  ClusterRun ref = RunAllReduce(/*threads=*/-1, 11ull, /*elems=*/4);
-  ClusterRun four = RunAllReduce(/*threads=*/4, 11ull, /*elems=*/4);
+  ClusterRun ref = RunAllReduce(/*threads=*/-1, 11ull, /*n=*/64);
+  ClusterRun four = RunAllReduce(/*threads=*/4, 11ull, /*n=*/64);
   EXPECT_EQ(four, ref);
-  ClusterRun serial = RunAllReduce(/*threads=*/1, 11ull, /*elems=*/4);
+  ClusterRun serial = RunAllReduce(/*threads=*/1, 11ull, /*n=*/64);
   // The partitioned schedule is not the serial schedule (cross-shard
   // same-time ties break differently), but the arithmetic must agree.
   EXPECT_EQ(serial.values, ref.values);
+}
+
+TEST(ParallelCluster, FallbackAllreduceWorkerCountInvariance) {
+  // The non-ring code paths must be just as schedule-independent as the
+  // ring: 67 int64 is indivisible by 16 (gather+broadcast fallback), and
+  // 16 int64 is one eager message (recursive doubling). Both compare the
+  // 2-worker replay bit for bit against the 1-worker reference schedule.
+  ClusterRun gb_ref = RunAllReduce(/*threads=*/-1, 21ull, /*n=*/67);
+  ClusterRun gb_two = RunAllReduce(/*threads=*/2, 21ull, /*n=*/67);
+  EXPECT_EQ(gb_two, gb_ref) << "gather+broadcast fallback";
+  ASSERT_EQ(gb_ref.values.size(), 67u);
+
+  ClusterRun rd_ref = RunAllReduce(/*threads=*/-1, 22ull, /*n=*/16);
+  ClusterRun rd_two = RunAllReduce(/*threads=*/2, 22ull, /*n=*/16);
+  EXPECT_EQ(rd_two, rd_ref) << "recursive doubling";
 }
 
 }  // namespace
