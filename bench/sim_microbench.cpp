@@ -94,7 +94,10 @@ Process Producer(Simulator& sim, Mailbox<int>& box, int n) {
 }
 
 Process Consumer(Mailbox<int>& box, int n) {
-  for (int i = 0; i < n; ++i) benchmark::DoNotOptimize(co_await box.Get());
+  for (int i = 0; i < n; ++i) {
+    int v = co_await box.Get();
+    benchmark::DoNotOptimize(v);
+  }
 }
 
 void BM_MailboxHandoff(benchmark::State& state) {

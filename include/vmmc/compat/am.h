@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "vmmc/sim/task.h"
@@ -63,8 +64,10 @@ class AmEndpoint {
   vmmc_core::Cluster& cluster_;
   int node_;
   std::unique_ptr<vmmc_core::Endpoint> ep_;
-  std::unordered_map<int, SlotView> request_slots_;  // by peer node
-  std::unordered_map<int, SlotView> reply_slots_;
+  // Ordered by peer rank: ServeLoop polls these with co_awaits inside the
+  // loop, so iteration order is event order (vmmc-lint R2).
+  std::map<int, SlotView> request_slots_;
+  std::map<int, SlotView> reply_slots_;
   std::unordered_map<std::uint16_t, RequestHandler> handlers_;
   mem::VirtAddr scratch_ = 0;  // send staging in user space
   bool serving_ = true;

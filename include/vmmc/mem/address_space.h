@@ -3,6 +3,7 @@
 // benchmarks can allocate buffers the way a user program would.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -34,7 +35,15 @@ class PageTable {
 
   template <typename Fn>  // Fn(Vpn, const PageTableEntry&)
   void ForEach(Fn&& fn) const {
-    for (const auto& [vpn, entry] : entries_) fn(vpn, entry);
+    // Visit in VPN order: hash order must not leak to callers (the
+    // destructor frees frames through this, and frame-free order feeds
+    // the physical allocator's reuse order).
+    std::vector<Vpn> vpns;
+    vpns.reserve(entries_.size());
+    // vmmc-lint: allow(unordered-iter): vpns are sorted below before visiting
+    for (const auto& [vpn, entry] : entries_) vpns.push_back(vpn);
+    std::sort(vpns.begin(), vpns.end());
+    for (Vpn vpn : vpns) fn(vpn, entries_.at(vpn));
   }
   void Clear() { entries_.clear(); }
 

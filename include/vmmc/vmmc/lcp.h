@@ -21,9 +21,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "vmmc/host/kernel.h"
@@ -34,6 +34,7 @@
 #include "vmmc/params.h"
 #include "vmmc/sim/sync.h"
 #include "vmmc/sim/task.h"
+#include "vmmc/util/buffer.h"
 #include "vmmc/vmmc/go_back_n.h"
 #include "vmmc/vmmc/page_tables.h"
 #include "vmmc/vmmc/sw_tlb.h"
@@ -93,7 +94,7 @@ struct SendRequest {
   std::uint32_t len = 0;                   // message length in bytes
   ProxyAddr proxy = 0;
   mem::VirtAddr src_va = 0;                // long sends
-  std::vector<std::uint8_t> inline_data;   // short sends
+  util::Buffer inline_data;                // short sends (pooled, COW)
   bool notify = false;
   std::uint32_t slot = 0;                  // completion slot
   std::unique_ptr<DirectSend> direct;      // one-sided write (null: proxy)
@@ -329,7 +330,10 @@ class VmmcLcp : public lanai::Lcp {
   std::size_t rr_cursor_ = 0;  // round-robin over send queues
   std::unique_ptr<IncomingPageTable> incoming_;  // sized at Run (needs machine)
   std::deque<PendingNotification> notifications_;
-  std::unordered_map<std::uint32_t, RecvRegion> recv_regions_;
+  // Ordered by rtag: UnregisterProcess walks this map freeing SRAM
+  // regions, and the free-list order must not depend on hash order
+  // (vmmc-lint R2 / determinism contract).
+  std::map<std::uint32_t, RecvRegion> recv_regions_;
   std::uint32_t next_rtag_ = 1;  // 0 means "no region" on the wire
 
   // Read requests waiting to be served, FIFO. The main loop serves one

@@ -147,7 +147,10 @@ sim::Task<Status> Communicator::Broadcast(int root, std::vector<std::uint8_t>& d
   // — both along a binomial tree over virtual ranks.
   const int vrank = (rank_ - root + size_) % size_;
 
-  auto tree_exchange = [&](std::vector<std::uint8_t>& payload) -> sim::Task<Status> {
+  // By-value captures: the coroutine frame must not hold references into
+  // this scope across its suspension points (vmmc-lint R5).
+  auto tree_exchange =
+      [this, vrank, root](std::vector<std::uint8_t>& payload) -> sim::Task<Status> {
     int mask = 1;
     // Receive phase: find my parent.
     while (mask < size_) {

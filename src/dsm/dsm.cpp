@@ -116,7 +116,9 @@ sim::Task<Status> DsmNode::Connect(DsmNode& peer) {
 
   ImportOptions wait;
   wait.wait = true;
-  auto setup = [&](DsmNode& self, DsmNode& other) -> sim::Task<Status> {
+  // `wait` is captured by value: the coroutine frame must not hold
+  // references into this scope across its suspensions (vmmc-lint R5).
+  auto setup = [wait](DsmNode& self, DsmNode& other) -> sim::Task<Status> {
     auto home = co_await self.ep_->ImportBuffer(
         other.rank_, self.options_.tag + "-home-" + std::to_string(other.rank_), wait);
     if (!home.ok()) co_return home.status();

@@ -178,8 +178,9 @@ sim::Task<Result<SendHandle>> Endpoint::SendMsgAsync(mem::VirtAddr src,
   if (short_send) {
     // The data is copied into the SRAM send queue with memory-mapped I/O;
     // validate the source now (a fault here is the user's SIGSEGV).
-    req.inline_data.resize(len);
-    Status read = process_->address_space().Read(src, req.inline_data);
+    req.inline_data = util::Buffer::Uninitialized(len);
+    Status read = process_->address_space().Read(
+        src, {req.inline_data.MutableData(), req.inline_data.size()});
     if (!read.ok()) co_return Result<SendHandle>(read);
   } else {
     req.src_va = src;

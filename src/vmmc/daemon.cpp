@@ -151,6 +151,8 @@ sim::Process VmmcDaemon::HandleRequest(ethernet::Datagram dgram) {
 
   ImportReply reply = LookupForImport(name, dgram.src_node, importer_pid);
 
+  // vmmc-lint: allow(raw-buffer): control-plane import/export handshake
+  // over Ethernet, not the per-transfer hot path
   std::vector<std::uint8_t> out;
   out.push_back(kImportResp);
   PutU32(out, tag);
@@ -228,6 +230,8 @@ sim::Task<Result<ExportId>> VmmcDaemon::Export(host::UserProcess& proc,
 
 sim::Task<Status> VmmcDaemon::Unexport(host::UserProcess& proc, ExportId id) {
   co_await kernel_.simulator().Delay(params_.host.syscall + 10'000);
+  // vmmc-lint: allow(unordered-iter): unique-id lookup — at most one entry
+  // matches and the scan has no side effects on non-matches
   for (auto it = exports_.begin(); it != exports_.end(); ++it) {
     if (it->second.id != id) continue;
     if (it->second.pid != proc.pid()) {
@@ -256,6 +260,8 @@ sim::Task<Result<ImportedBuffer>> VmmcDaemon::Import(ProcState& state,
     reply = LookupForImport(name, node_id_, state.pid());
   } else {
     const std::uint32_t tag = next_tag_++;
+    // vmmc-lint: allow(raw-buffer): control-plane import request over
+    // Ethernet, not the per-transfer hot path
     std::vector<std::uint8_t> req;
     req.push_back(kImportReq);
     PutU32(req, tag);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "vmmc/host/machine.h"
+#include "vmmc/util/buffer.h"
 
 namespace vmmc::vmmc_core {
 
@@ -116,9 +117,13 @@ sim::Task<Status> P2pChannel::Send(mem::VirtAddr src, std::uint32_t len) {
   const bool eager = len <= params_.eager_max;
   if (eager) {
     if (len > 0) {
-      // Copy-through: one host bcopy into the wire staging buffer.
-      std::vector<std::uint8_t> tmp(len);
-      if (Status r = ep_.ReadBuffer(src, tmp); !r.ok()) co_return r;
+      // Copy-through: one host bcopy into the wire staging buffer. Pooled
+      // storage — every eager send runs this, so no per-send heap alloc.
+      util::Buffer tmp = util::Buffer::Uninitialized(len);
+      if (Status r = ep_.ReadBuffer(src, {tmp.MutableData(), tmp.size()});
+          !r.ok()) {
+        co_return r;
+      }
       if (Status w = ep_.WriteBuffer(send_staging, tmp); !w.ok()) co_return w;
       co_await ep_.machine().cpu().Bcopy(len);
       Status s = co_await ep_.SendMsg(send_staging, send_slot, len);
@@ -213,9 +218,13 @@ sim::Task<Result<std::uint32_t>> P2pChannel::RecvInto(mem::VirtAddr dst,
   if (kind == kKindEager) {
     if (len > 0) {
       // Copy-through: the slot payload is bcopy'd into the caller's
-      // buffer (the receive-side copy eager trades for latency).
-      std::vector<std::uint8_t> tmp(len);
-      if (Status r = ep_.ReadBuffer(recv_slot, tmp); !r.ok()) co_return Out(r);
+      // buffer (the receive-side copy eager trades for latency). Pooled
+      // storage — every eager receive runs this.
+      util::Buffer tmp = util::Buffer::Uninitialized(len);
+      if (Status r = ep_.ReadBuffer(recv_slot, {tmp.MutableData(), tmp.size()});
+          !r.ok()) {
+        co_return Out(r);
+      }
       if (Status w = ep_.WriteBuffer(dst, tmp); !w.ok()) co_return Out(w);
       co_await ep_.machine().cpu().Bcopy(len);
     }
@@ -258,6 +267,8 @@ sim::Task<Result<std::vector<std::uint8_t>>> P2pChannel::Recv() {
   if (!scratch.ok()) co_return Out(scratch.status());
   auto n = co_await RecvInto(recv_bounce_, recv_bounce_cap_);
   if (!n.ok()) co_return Out(n.status());
+  // vmmc-lint: allow(raw-buffer): user-facing result — Recv()'s contract
+  // returns an owning std::vector, not a pooled view
   std::vector<std::uint8_t> out(n.value());
   if (!out.empty()) {
     if (Status r = ep_.ReadBuffer(recv_bounce_, out); !r.ok()) {

@@ -1,6 +1,8 @@
 #include "vmmc/vmmc/reg_cache.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "vmmc/mem/address_space.h"
 #include "vmmc/sim/simulator.h"
@@ -26,9 +28,15 @@ RegCache::RegCache(const Params& params, host::UserProcess& process,
 }
 
 RegCache::~RegCache() {
-  // Process teardown: drop everything, active registrations included.
-  while (!by_id_.empty()) {
-    Entry* e = by_id_.begin()->second;
+  // Process teardown: drop everything, active registrations included — in
+  // id (allocation) order, so unpin accounting never depends on hash order.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(by_id_.size());
+  // vmmc-lint: allow(unordered-iter): ids are sorted below before visiting
+  for (const auto& [id, entry] : by_id_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (std::uint64_t id : ids) {
+    Entry* e = by_id_.at(id);
     if (e->refs == 0) LruUnlink(*e);
     Destroy(*e);
   }

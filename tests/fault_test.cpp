@@ -232,8 +232,8 @@ TEST_P(FaultMatrixTest, SendsDeliverExactlyOnceInOrder) {
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, FaultMatrixTest, ::testing::ValuesIn(FullMatrix()),
-    [](const ::testing::TestParamInfo<FaultCase>& info) {
-      return info.param.Name();
+    [](const ::testing::TestParamInfo<FaultCase>& param_info) {
+      return param_info.param.Name();
     });
 
 // ---------------------------------------------------------------------------
@@ -292,8 +292,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FaultCase{FaultKind::kDmaStall, true, 5},
                       FaultCase{FaultKind::kDrop, false, 6},
                       FaultCase{FaultKind::kDrop, true, 7}),
-    [](const ::testing::TestParamInfo<FaultCase>& info) {
-      return info.param.Name();
+    [](const ::testing::TestParamInfo<FaultCase>& param_info) {
+      return param_info.param.Name();
     });
 
 // ---------------------------------------------------------------------------
@@ -350,8 +350,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FaultCase{FaultKind::kDrop, true, 3},
                       FaultCase{FaultKind::kDelay, true, 3},
                       FaultCase{FaultKind::kDmaStall, true, 3}),
-    [](const ::testing::TestParamInfo<FaultCase>& info) {
-      return info.param.Name();
+    [](const ::testing::TestParamInfo<FaultCase>& param_info) {
+      return param_info.param.Name();
     });
 
 // ---------------------------------------------------------------------------

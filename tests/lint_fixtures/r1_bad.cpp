@@ -1,0 +1,47 @@
+// vmmc-lint fixture: R1 co-await-subexpr — known-bad.
+//
+// The first case reproduces the exact shape of the PR 9 GCC-12
+// coroutine-frame corruption: api.cpp / kv_server selected between two
+// awaited sends inside a ternary, and GCC 12 clobbered the coroutine frame
+// when the discarded branch's temporaries were destroyed across the
+// suspension. The lint would have rejected that line before it shipped.
+//
+// Lines that must fire carry an `EXPECT-LINT: <rule>` marker; the self-test
+// (tests/lint_test.py) asserts the linter reports exactly those
+// (file, line, rule) triples and nothing else.
+#include <cstdint>
+
+struct Task {
+  bool await_ready();
+  void await_suspend(void*);
+  int await_resume();
+};
+
+Task SendEager(const std::uint8_t* buf, std::uint32_t len);
+Task SendRendezvous(const std::uint8_t* buf, std::uint32_t len);
+Task Consume(int a, int b);
+int Wrap(int v);
+
+Task Send(const std::uint8_t* buf, std::uint32_t len, bool eager) {
+  // PR 9 shape: co_await in a ternary branch.
+  int r = eager ? co_await SendEager(buf, len)  // EXPECT-LINT: R1
+                : 0;
+  (void)r;
+
+  // Both branches awaited — two findings on one line.
+  // EXPECT-LINT: R1
+  // EXPECT-LINT: R1
+  int s = eager ? co_await SendEager(buf, len) : co_await SendRendezvous(buf, len);
+  (void)s;
+
+  // co_await as a call argument: the call's other argument temporaries
+  // live across the suspension.
+  int t = Wrap(co_await SendEager(buf, len));  // EXPECT-LINT: R1
+  (void)t;
+
+  // co_await as a non-first argument (sibling evaluation straddles the
+  // suspension).
+  int u = co_await Consume(1, co_await SendEager(buf, len));  // EXPECT-LINT: R1
+  (void)u;
+  co_return;
+}

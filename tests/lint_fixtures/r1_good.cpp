@@ -1,0 +1,37 @@
+// vmmc-lint fixture: R1 co-await-subexpr — known-good.
+//
+// Statement-level awaits, a ternary *inside* the awaited operand (the safe
+// direction — selection happens before the suspension), and control-flow
+// awaits. None of these may fire.
+#include <cstdint>
+
+struct Task {
+  bool await_ready();
+  void await_suspend(void*);
+  int await_resume();
+};
+
+Task SendEager(const std::uint8_t* buf, std::uint32_t len);
+Task SendRendezvous(const std::uint8_t* buf, std::uint32_t len);
+Task Delay(std::uint64_t ns);
+
+Task Send(const std::uint8_t* buf, std::uint32_t len, bool eager, bool fast) {
+  // Plain statement await.
+  co_await Delay(50);
+
+  // Await into a named local, then select — the PR 9 fix shape.
+  int a = co_await SendEager(buf, len);
+  int b = co_await SendRendezvous(buf, len);
+  int r = eager ? a : b;
+  (void)r;
+
+  // Ternary inside the awaited call's arguments: selection completes
+  // before the suspension, no temporaries straddle it.
+  co_await Delay(fast ? 10 : 50);
+
+  // Await in an if condition / return value is statement-shaped.
+  if (co_await SendEager(buf, len)) {
+    co_return;
+  }
+  co_return;
+}

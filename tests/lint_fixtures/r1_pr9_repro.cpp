@@ -1,0 +1,48 @@
+// vmmc-lint fixture: the PR 9 GCC-12 coroutine-frame corruption, verbatim
+// shape.
+//
+// What shipped (api.cpp and kv_server.cpp, fixed in PR 9): the send path
+// selected between an eager copy-through and a rendezvous protocol with a
+// ternary whose both branches awaited. Under GCC 12 (-O2), destroying the
+// discarded branch's temporaries across the suspension corrupted the
+// coroutine frame — the resumed coroutine read garbage locals and the
+// simulation crashed nondeterministically, only in optimized builds, only
+// on some seeds. The fix awaited each branch into a named Status first.
+//
+// This fixture proves vmmc-lint R1 rejects that exact line, i.e. the gate
+// would have stopped PR 9's bug before it shipped. lint_test.py asserts
+// the rule and line below.
+#include <cstdint>
+
+struct Status {
+  bool ok() const;
+};
+
+struct StatusTask {
+  bool await_ready();
+  void await_suspend(void*);
+  Status await_resume();
+};
+
+class Endpoint {
+ public:
+  StatusTask SendEager(std::uint64_t src, std::uint32_t len);
+  StatusTask SendRendezvous(std::uint64_t src, std::uint32_t len);
+};
+
+struct VoidTask {
+  bool await_ready();
+  void await_suspend(void*);
+  void await_resume();
+};
+
+VoidTask Send(Endpoint& ep, std::uint64_t src, std::uint32_t len,
+              std::uint32_t eager_max) {
+  // The PR 9 line. GCC 12 corrupted the frame here.
+  Status s = len <= eager_max ? co_await ep.SendEager(src, len)  // EXPECT-LINT: R1
+                              : co_await ep.SendRendezvous(src, len);  // EXPECT-LINT: R1
+  if (!s.ok()) {
+    co_return;
+  }
+  co_return;
+}

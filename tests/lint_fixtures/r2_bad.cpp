@@ -1,0 +1,34 @@
+// vmmc-lint fixture: R2 unordered-iter — known-bad.
+//
+// Iterating an unordered container in sim-visible code: hash order is
+// implementation-defined, and when the loop body schedules events (or
+// frees resources whose reuse order matters) the bit-identical-results
+// guarantee breaks. Run with --scope=sim.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Event {
+  void Post(int node);
+};
+
+class Scheduler {
+ public:
+  void DrainAll(Event& e) {
+    for (auto& [node, pending] : pending_) {  // EXPECT-LINT: R2
+      if (pending > 0) e.Post(node);
+    }
+  }
+
+  std::uint64_t Sum() const {
+    std::uint64_t total = 0;
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // EXPECT-LINT: R2
+      total += *it;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, std::uint32_t> pending_;
+  std::unordered_set<std::uint64_t> seen_;
+};

@@ -1,0 +1,43 @@
+// vmmc-lint fixture: R2 unordered-iter — known-good.
+//
+// Ordered containers iterate deterministically; unordered containers used
+// for point lookups only are fine; and the sanctioned gather-sort pattern
+// carries a justified allowlist comment. Run with --scope=sim.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Event {
+  void Post(int node);
+};
+
+class Scheduler {
+ public:
+  void DrainAll(Event& e) {
+    // std::map: iteration order is key order, deterministic.
+    for (auto& [node, pending] : by_rank_) {
+      if (pending > 0) e.Post(node);
+    }
+  }
+
+  std::uint32_t Lookup(int node) const {
+    // Point lookup on an unordered map never observes hash order.
+    auto it = cache_.find(node);
+    return it != cache_.end() ? it->second : 0;
+  }
+
+  void DrainSorted(Event& e) {
+    std::vector<int> nodes;
+    nodes.reserve(cache_.size());
+    // vmmc-lint: allow(unordered-iter): nodes are sorted below before use
+    for (const auto& [node, pending] : cache_) nodes.push_back(node);
+    std::sort(nodes.begin(), nodes.end());
+    for (int node : nodes) e.Post(node);
+  }
+
+ private:
+  std::map<int, std::uint32_t> by_rank_;
+  std::unordered_map<int, std::uint32_t> cache_;
+};

@@ -1,0 +1,27 @@
+// vmmc-lint fixture: R3 nondet-source — known-bad.
+//
+// Host entropy and wall-clock reads in sim code: every one of these makes
+// two runs with the same seed diverge. Run with --scope=sim.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+std::uint64_t PickBackoffSeed() {
+  std::random_device rd;  // EXPECT-LINT: R3
+  return rd();
+}
+
+std::uint32_t PickJitter() {
+  return static_cast<std::uint32_t>(rand());  // EXPECT-LINT: R3
+}
+
+std::uint64_t StampNow() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT-LINT: R3
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+std::uint64_t StampEpoch() {
+  return static_cast<std::uint64_t>(time(nullptr));  // EXPECT-LINT: R3
+}

@@ -1,0 +1,31 @@
+// vmmc-lint fixture: R3 nondet-source — known-good.
+//
+// The determinism contract: randomness from the seeded sim::Rng, time from
+// Simulator::Now(). Run with --scope=sim.
+#include <cstdint>
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 33;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Simulator {
+ public:
+  std::uint64_t Now() const { return now_ns_; }
+
+ private:
+  std::uint64_t now_ns_ = 0;
+};
+
+std::uint32_t PickJitter(Rng& rng) {
+  return static_cast<std::uint32_t>(rng.Next() % 1000);
+}
+
+std::uint64_t Stamp(const Simulator& sim) { return sim.Now(); }

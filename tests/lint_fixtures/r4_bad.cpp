@@ -1,0 +1,31 @@
+// vmmc-lint fixture: R4 raw-buffer — known-bad.
+//
+// Per-packet allocation in the hot path: raw new[]/malloc and byte-vector
+// payload staging. The PR 4 contract (enforced at runtime by
+// perf_guard_test's counting operator new) is that steady-state traffic
+// allocates nothing — payloads live in the pooled copy-on-write
+// util::Buffer and events in pooled EventNodes. Run with --scope=hot.
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+void Transmit(const std::uint8_t* data, std::uint32_t len);
+
+void SendPacketNewArray(const std::uint8_t* data, std::uint32_t len) {
+  auto* staging = new std::uint8_t[len];  // EXPECT-LINT: R4
+  for (std::uint32_t i = 0; i < len; ++i) staging[i] = data[i];
+  Transmit(staging, len);
+  delete[] staging;
+}
+
+void SendPacketMalloc(const std::uint8_t* data, std::uint32_t len) {
+  auto* staging = static_cast<std::uint8_t*>(malloc(len));  // EXPECT-LINT: R4
+  for (std::uint32_t i = 0; i < len; ++i) staging[i] = data[i];
+  Transmit(staging, len);
+  free(staging);
+}
+
+void SendPacketVector(const std::uint8_t* data, std::uint32_t len) {
+  std::vector<std::uint8_t> staging(data, data + len);  // EXPECT-LINT: R4
+  Transmit(staging.data(), len);
+}

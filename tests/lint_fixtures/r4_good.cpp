@@ -1,0 +1,35 @@
+// vmmc-lint fixture: R4 raw-buffer — known-good.
+//
+// The pooled path: util::Buffer for payload bytes (size-class pool,
+// copy-on-write sharing), plus a justified allowlist for a user-facing
+// result vector at an API boundary. Run with --scope=hot.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace util {
+class Buffer {
+ public:
+  static Buffer Uninitialized(std::size_t n);
+  std::uint8_t* MutableData();
+  const std::uint8_t* data() const;
+  std::size_t size() const;
+};
+}  // namespace util
+
+void Transmit(const std::uint8_t* data, std::uint32_t len);
+
+void SendPacketPooled(const std::uint8_t* data, std::uint32_t len) {
+  util::Buffer staging = util::Buffer::Uninitialized(len);
+  std::memcpy(staging.MutableData(), data, len);
+  Transmit(staging.data(), len);
+}
+
+void CopyOut(const util::Buffer& payload, std::vector<std::uint8_t>* result) {
+  // vmmc-lint: allow(raw-buffer): user-facing result — the public API
+  // hands the caller an owning std::vector, not a pooled view
+  std::vector<std::uint8_t> out(payload.size());
+  std::memcpy(out.data(), payload.data(), payload.size());
+  *result = out;
+}

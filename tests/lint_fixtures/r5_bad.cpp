@@ -1,0 +1,35 @@
+// vmmc-lint fixture: R5 ref-capture-coawait — known-bad.
+//
+// A lambda coroutine that captures by reference and suspends: the frame
+// holds the reference across the suspension, and if the coroutine outlives
+// the enclosing scope (stored, Spawned, resumed from the event queue) the
+// capture dangles. Run with --scope=sim.
+#include <cstdint>
+
+struct Task {
+  bool await_ready();
+  void await_suspend(void*);
+  int await_resume();
+};
+
+Task Delay(std::uint64_t ns);
+void Spawn(Task t);
+
+void ScheduleRetransmit(std::uint32_t seq) {
+  std::uint32_t attempts = 0;
+  auto retx = [&]() -> Task {  // EXPECT-LINT: R5
+    co_await Delay(1000);
+    ++attempts;
+    (void)seq;
+  };
+  Spawn(retx());
+}
+
+void ScheduleAck(std::uint32_t seq) {
+  std::uint32_t acked = 0;
+  auto ack = [&acked, seq]() -> Task {  // EXPECT-LINT: R5
+    co_await Delay(500);
+    acked = seq;
+  };
+  Spawn(ack());
+}

@@ -1,0 +1,42 @@
+// vmmc-lint fixture: R5 ref-capture-coawait — known-good.
+//
+// By-value captures for coroutine lambdas, and by-reference captures in
+// ordinary (non-suspending) lambdas. Run with --scope=sim.
+#include <cstdint>
+
+struct Task {
+  bool await_ready();
+  void await_suspend(void*);
+  int await_resume();
+};
+
+Task Delay(std::uint64_t ns);
+void Spawn(Task t);
+
+class Lcp {
+ public:
+  void ScheduleRetransmit(std::uint32_t seq) {
+    // Captures by value: `this` (a stable pointer) and a copy of seq.
+    auto retx = [this, seq]() -> Task {
+      co_await Delay(1000);
+      ++retx_count_;
+      (void)seq;
+    };
+    Spawn(retx());
+  }
+
+  std::uint32_t CountPending(const std::uint32_t* seqs, int n) const {
+    std::uint32_t pending = 0;
+    // By-reference capture is fine in a plain lambda — no suspension, the
+    // closure dies before the scope does.
+    auto tally = [&](std::uint32_t s) {
+      if (s > last_acked_) ++pending;
+    };
+    for (int i = 0; i < n; ++i) tally(seqs[i]);
+    return pending;
+  }
+
+ private:
+  std::uint32_t retx_count_ = 0;
+  std::uint32_t last_acked_ = 0;
+};
